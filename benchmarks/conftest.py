@@ -1,0 +1,37 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the corresponding workloads in the simulator, prints the same rows or
+series the paper reports, and asserts the *shape* (who wins, by
+roughly what factor, where crossovers fall).  Absolute numbers are the
+simulator's, not the authors' testbed's — see EXPERIMENTS.md.
+
+The pytest-benchmark fixture wraps each experiment in a single
+``pedantic`` round so `pytest benchmarks/ --benchmark-only` also
+records the (Python) runtime of regenerating each artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system import System
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def fresh_system(device_bytes=4 << 30, **kw) -> System:
+    return System(device_bytes=device_bytes, **kw)
+
+
+def aged_system(device_bytes=4 << 30, **kw) -> System:
+    return System(device_bytes=device_bytes, aged=True, **kw)
+
+
+@pytest.fixture(autouse=True)
+def _print_spacer():
+    print()
+    yield

@@ -1,0 +1,135 @@
+"""Figure 8: Apache webserver on PMem-resident static pages.
+
+(a) Scalability 1-16 cores, 32 KB pages, with DaxVM's optimisations
+added incrementally (file tables -> +ephemeral heap -> +async unmap)
+and the LATR comparison.  (b) Relative throughput vs page size at 16
+cores, where read()'s extra copy grows with the page.
+"""
+
+from conftest import aged_system, once
+
+from repro.analysis.results import Series
+from repro.analysis.report import format_series
+from repro.workloads import (
+    ApacheConfig,
+    DaxVMOptions,
+    ServerInterface,
+    run_apache,
+)
+
+CORES = [1, 2, 4, 8, 16]
+REQUESTS = 2400
+
+BARS = [
+    ("read", ServerInterface.READ, None),
+    ("mmap", ServerInterface.MMAP, None),
+    ("populate", ServerInterface.MMAP_POPULATE, None),
+    ("latr", ServerInterface.MMAP_LATR, None),
+    ("mmap+async", ServerInterface.MMAP_ASYNC, None),
+    ("dax-tables", ServerInterface.DAXVM, DaxVMOptions.filetables_only()),
+    ("dax+eph", ServerInterface.DAXVM, DaxVMOptions.with_ephemeral()),
+    ("dax+eph+async", ServerInterface.DAXVM, DaxVMOptions.full()),
+]
+
+
+def _serve(interface, workers, opts=None, page_size=32 << 10,
+           requests=REQUESTS, **kw):
+    system = aged_system()
+    cfg = ApacheConfig(page_size=page_size, num_workers=workers,
+                       requests=requests, interface=interface,
+                       daxvm=opts or DaxVMOptions.full(), **kw)
+    return run_apache(system, cfg)
+
+
+def test_fig8a_scalability(benchmark):
+    def experiment():
+        series = {name: Series(name) for name, _i, _o in BARS}
+        for cores in CORES:
+            for name, interface, opts in BARS:
+                r = _serve(interface, cores, opts)
+                series[name].add(cores, r.ops_per_second / 1e3)
+        return series
+
+    series = once(benchmark, experiment)
+    print(format_series("Fig 8a: Apache throughput (Kreq/s), 32KB pages",
+                        series.values(), x_label="cores"))
+
+    at16 = {name: s.y_at(16) for name, s in series.items()}
+    # Baseline MM stops scaling around 4-8 cores and declines; read
+    # keeps scaling.
+    assert at16["mmap"] < max(series["mmap"].ys())
+    assert at16["mmap"] < 1.45 * series["mmap"].y_at(4)
+    assert at16["read"] > 10 * series["read"].y_at(1)
+    # Paging limits MM: file tables alone already help massively.
+    assert at16["dax-tables"] > 2 * at16["populate"]
+    # Ephemeral allocation extends scaling further.
+    assert at16["dax+eph"] > 1.1 * at16["dax-tables"]
+    # Async unmapping adds on top of ephemeral.
+    assert at16["dax+eph+async"] >= at16["dax+eph"]
+    # LATR helps the baseline but loses to DaxVM's async unmapping
+    # (paper: by ~12 %) and to full DaxVM by a lot.
+    assert at16["latr"] > at16["populate"]
+    assert at16["mmap+async"] > 1.05 * at16["latr"]
+    assert at16["dax+eph+async"] > 2 * at16["latr"]
+    # Headline: DaxVM ~4-5x over baseline MM, at/above read.
+    assert at16["dax+eph+async"] > 3.5 * at16["mmap"]
+    assert at16["dax+eph+async"] > 0.95 * at16["read"]
+
+
+def test_fig8b_webpage_size(benchmark):
+    """At 16 cores, MM's zero-copy advantage grows with page size."""
+    sizes = [4 << 10, 16 << 10, 32 << 10, 64 << 10]
+
+    def experiment():
+        rel = {"mmap": Series("mmap"), "daxvm": Series("daxvm")}
+        for size in sizes:
+            requests = max(400, min(2400, (64 << 20) // size))
+            read = _serve(ServerInterface.READ, 16, page_size=size,
+                          requests=requests)
+            mmap = _serve(ServerInterface.MMAP, 16, page_size=size,
+                          requests=requests)
+            daxvm = _serve(ServerInterface.DAXVM, 16, page_size=size,
+                           requests=requests)
+            rel["mmap"].add(size >> 10,
+                            mmap.ops_per_second / read.ops_per_second)
+            rel["daxvm"].add(size >> 10,
+                             daxvm.ops_per_second / read.ops_per_second)
+        return rel
+
+    rel = once(benchmark, experiment)
+    print(format_series(
+        "Fig 8b: Apache throughput relative to read, 16 cores",
+        rel.values(), x_label="page KB"))
+
+    daxvm = rel["daxvm"]
+    # DaxVM at or above read for all sizes, advantage growing with
+    # page size as read's extra copy grows (paper: up to ~50 %) until
+    # the PMem device bandwidth ceiling pins both interfaces.
+    assert daxvm.y_at(32) > daxvm.y_at(4)
+    assert max(daxvm.ys()) > 1.05
+    assert min(daxvm.ys()) > 0.95
+    # Baseline mmap stays below read at every size (lock collapse).
+    assert max(rel["mmap"].ys()) < 1.0
+
+
+def test_fig8a_multiprocess_discussion(benchmark):
+    """§V-C: single-thread processes relieve VM-lock contention for
+    the baseline, but DaxVM wins in both configurations."""
+
+    def experiment():
+        mmap_mt = _serve(ServerInterface.MMAP, 8)
+        mmap_mp = _serve(ServerInterface.MMAP, 8, multiprocess=True)
+        dax_mp = _serve(ServerInterface.DAXVM, 8, multiprocess=True)
+        read = _serve(ServerInterface.READ, 8)
+        return (mmap_mt.ops_per_second, mmap_mp.ops_per_second,
+                dax_mp.ops_per_second, read.ops_per_second)
+
+    mmap_mt, mmap_mp, dax_mp, read = once(benchmark, experiment)
+    print(f"Apache 8 workers: mmap(threads)={mmap_mt/1e3:.0f}K "
+          f"mmap(procs)={mmap_mp/1e3:.0f}K daxvm(procs)={dax_mp/1e3:.0f}K "
+          f"read={read/1e3:.0f}K req/s")
+    # Multi-processing helps the baseline (no shared mmap_sem)...
+    assert mmap_mp > 1.3 * mmap_mt
+    # ...to at best read-level performance, while DaxVM leads.
+    assert mmap_mp < 1.1 * read
+    assert dax_mp > mmap_mp

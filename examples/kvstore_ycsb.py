@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""YCSB over a Pmem-RocksDB-like store (the paper's Fig. 9c, small).
+
+Runs YCSB Load-A and Run-A/B/C against the mapped-SSTable KV store on
+an aged ext4-DAX image, across interfaces: default mmap (MAP_SYNC),
+MAP_POPULATE, and DaxVM with 2 MB dirty tracking, asynchronous
+pre-zeroing and the nosync mode.
+
+Run:  python examples/kvstore_ycsb.py
+"""
+
+from repro import System
+from repro.analysis.report import format_table
+from repro.analysis.results import Table
+from repro.workloads import (
+    DaxVMOptions,
+    Interface,
+    KVConfig,
+    YCSBConfig,
+    run_ycsb,
+)
+
+VARIANTS = [
+    ("mmap (MAP_SYNC)", Interface.MMAP, None, False),
+    ("mmap+populate", Interface.MMAP_POPULATE, None, False),
+    ("daxvm (2MB tracking)", Interface.DAXVM,
+     DaxVMOptions(ephemeral=False, unmap_async=False), False),
+    ("daxvm +prezero +nosync", Interface.DAXVM,
+     DaxVMOptions(ephemeral=False, unmap_async=False, nosync=True),
+     True),
+]
+WORKLOADS = ["load_a", "run_a", "run_b", "run_c"]
+
+
+def run_one(workload, interface, opts, prezero):
+    system = System(device_bytes=6 << 30, aged=True)
+    kv = KVConfig(interface=interface)
+    if opts is not None:
+        kv = KVConfig(interface=interface, daxvm=opts)
+    cfg = YCSBConfig(workload=workload, num_ops=8000,
+                     preload_records=8000, kv=kv, prezero=prezero)
+    return run_ycsb(system, cfg)
+
+
+def main() -> None:
+    table = Table("YCSB on Pmem-RocksDB, aged ext4-DAX (Kops/s)",
+                  ["workload"] + [v[0] for v in VARIANTS])
+    commits = Table("MAP_SYNC journal commits during load_a",
+                    ["variant", "sync commits", "dirty faults"])
+    for workload in WORKLOADS:
+        row = [workload]
+        for name, interface, opts, prezero in VARIANTS:
+            result = run_one(workload, interface, opts, prezero)
+            row.append(result.ops_per_second / 1e3)
+            if workload == "load_a":
+                commits.add_row(
+                    name,
+                    result.counters.get("journal.sync_commits", 0),
+                    result.counters.get("vm.dirty_faults", 0))
+        table.add_row(*row)
+
+    print(format_table(table))
+    print()
+    print(format_table(commits))
+    print("\nOn an aged image every 4 KB first-write fault forces a "
+          "journal commit under\nMAP_SYNC; DaxVM tracks at 2 MB "
+          "(hundreds of times fewer commits) and nosync\ndrops "
+          "tracking entirely — the paper's ~2.95x Load-A speedup.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""P-Redis restart/availability study (the paper's Fig. 9b, small).
+
+Boots a PMem key-value cache three ways — lazy mmap (slow warm-up),
+MAP_POPULATE (boot stall, then fast) and DaxVM O(1) mmap (instant and
+fast) — and prints the serve-throughput timeline after each boot.
+
+Run:  python examples/predis_boot.py
+"""
+
+from repro import System
+from repro.workloads import Interface, PRedisConfig, run_predis
+
+
+def boot(interface):
+    system = System(device_bytes=4 << 30, aged=True)
+    cfg = PRedisConfig(cache_size=768 << 20, num_gets=50_000,
+                       window=2_500, interface=interface)
+    return run_predis(system, cfg)
+
+
+def main() -> None:
+    results = {i: boot(i) for i in (Interface.MMAP,
+                                    Interface.MMAP_POPULATE,
+                                    Interface.DAXVM)}
+
+    print("P-Redis: 2M-get serve phase after restart "
+          "(768 MB cache, 16 KB values)\n")
+    print(f"{'interface':<10} {'boot':>10}   throughput timeline "
+          f"(Kops/s per window)")
+    for interface, r in results.items():
+        timeline = " ".join(f"{v / 1e3:5.0f}"
+                            for _t, v in r.timeline.points[:10])
+        print(f"{interface.value:<10} {r.boot_seconds * 1e3:>8.1f}ms   "
+              f"{timeline}")
+
+    lazy = results[Interface.MMAP]
+    daxvm = results[Interface.DAXVM]
+    print(f"\nlazy mmap serves its first window at "
+          f"{lazy.timeline.points[0][1] / 1e3:.0f} Kops/s and needs the "
+          f"whole warm-up to ramp;\nMAP_POPULATE hides the faults in a "
+          f"{results[Interface.MMAP_POPULATE].boot_seconds * 1e3:.0f} ms "
+          f"boot stall;\nDaxVM attaches the persistent file tables in "
+          f"{daxvm.boot_seconds * 1e3:.2f} ms and serves "
+          f"{daxvm.timeline.points[0][1] / 1e3:.0f} Kops/s immediately.")
+
+
+if __name__ == "__main__":
+    main()

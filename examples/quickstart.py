@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: one file, three interfaces, and what DaxVM changes.
+
+Creates a 1 MB file on a simulated aged ext4-DAX image, then reads it
+once through (1) the read() syscall path, (2) default DAX-mmap, and
+(3) daxvm_mmap — printing the simulated latency and the kernel events
+(faults, TLB shootdowns) behind each number.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MapFlags, Protection, System
+from repro.workloads import Measurement
+
+
+def main() -> None:
+    system = System(device_bytes=2 << 30, aged=True)
+    process = system.new_process("demo")
+    daxvm = system.daxvm_for(process)
+    size = 1 << 20
+
+    # -- setup: create the file through the real FS paths --------------
+    def create():
+        f = yield from system.fs.open("/data/report.bin", create=True)
+        yield from system.fs.write(f, 0, size)
+        yield from system.fs.close(f)
+        return f.inode
+
+    thread = system.spawn(create(), core=0, process=process)
+    system.run()
+    inode = thread.result
+    print(f"created {inode.path}: {inode.size >> 10} KB in "
+          f"{len(inode.extents)} extent(s), "
+          f"{inode.extents.huge_coverage():.0%} huge-page capable")
+
+    # -- one read-once pass per interface --------------------------------
+    def via_read():
+        f = yield from system.fs.open(inode.path)
+        yield from system.fs.read(f, 0, size)
+        yield from system.fs.close(f)
+
+    def via_mmap():
+        f = yield from system.fs.open(inode.path)
+        vma = yield from process.mm.mmap(system.fs, f.inode, 0, size,
+                                         Protection.READ,
+                                         MapFlags.SHARED)
+        yield from process.mm.access(vma, 0, size)
+        yield from process.mm.munmap(vma)
+        yield from system.fs.close(f)
+
+    def via_daxvm():
+        f = yield from system.fs.open(inode.path)
+        vma = yield from daxvm.mmap(f.inode, 0, size, Protection.READ,
+                                    MapFlags.SHARED | MapFlags.EPHEMERAL
+                                    | MapFlags.UNMAP_ASYNC)
+        yield from process.mm.access(vma, vma.user_addr - vma.start,
+                                     size)
+        yield from daxvm.munmap(vma)
+        yield from system.fs.close(f)
+
+    print(f"\n{'interface':<10} {'latency':>10}   kernel events")
+    for name, flow in [("read", via_read), ("mmap", via_mmap),
+                       ("daxvm", via_daxvm)]:
+        measure = Measurement(system)
+        measure.start()
+        system.spawn(flow(), core=0, process=process)
+        system.run()
+        result = measure.finish(name, operations=1, bytes_processed=size)
+        events = ", ".join(
+            f"{key.split('.')[-1]}={value:.0f}"
+            for key, value in sorted(result.counters.items())
+            if key.startswith(("vm.faults", "tlb.shootdowns",
+                               "daxvm.attachments")))
+        print(f"{name:<10} {result.latency_us:>8.1f}us   {events or '-'}")
+
+    print("\nDaxVM attached pre-built file tables instead of taking a "
+          "fault per page,\nand deferred the unmap instead of paying a "
+          "TLB shootdown.")
+
+
+if __name__ == "__main__":
+    main()

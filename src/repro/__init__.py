@@ -1,0 +1,30 @@
+"""DaxVM reproduction: a simulated Linux/x86-64 VM + PMem FS stack.
+
+Public API highlights:
+
+* :class:`repro.System` — a simulated machine (engine + memory + FS);
+* :class:`repro.core.DaxVM` — the paper's interface (daxvm_mmap/munmap);
+* :mod:`repro.workloads` — the microbenchmarks and application models
+  used by the paper's evaluation;
+* :mod:`repro.analysis` — result tables and figure-shaped reports.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.config import DEFAULT_COSTS, CostModel, MachineConfig
+from repro.system import Process, System
+from repro.vm.vma import MapFlags, Protection
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "MachineConfig",
+    "MapFlags",
+    "Process",
+    "Protection",
+    "System",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Result containers and text renderers for experiment output."""
+
+from repro.analysis.results import RunResult, Series, Table
+from repro.analysis.report import format_series, format_table, render_bars
+
+__all__ = [
+    "RunResult",
+    "Series",
+    "Table",
+    "format_series",
+    "format_table",
+    "render_bars",
+]

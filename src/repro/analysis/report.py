@@ -1,0 +1,60 @@
+"""Plain-text rendering of series and tables (the bench output)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.results import Series, Table
+
+
+def format_table(table: Table) -> str:
+    """Render a Table with aligned columns."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3g}"
+        return str(cell)
+
+    rows = [[fmt(c) for c in row] for row in table.rows]
+    headers = [str(c) for c in table.columns]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              if rows else len(headers[i]) for i in range(len(headers))]
+    lines = [table.title,
+             "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Iterable[Series],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render several series as one aligned grid keyed by x."""
+    series = list(series)
+    xs: List[float] = []
+    for s in series:
+        for x in s.xs():
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    table = Table(title, [x_label] + [s.label for s in series])
+    for x in xs:
+        cells = [x]
+        for s in series:
+            y = s.y_at(x)
+            cells.append(y if y is not None else "-")
+        table.add_row(*cells)
+    return format_table(table)
+
+
+def render_bars(title: str, labels: Iterable[str],
+                values: Iterable[float], width: int = 40) -> str:
+    """An ASCII bar chart (for quick visual shape checks)."""
+    labels = list(labels)
+    values = list(values)
+    peak = max(values) if values else 1.0
+    lwidth = max(len(l) for l in labels) if labels else 0
+    lines = [title]
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(width * value / peak)) if peak else ""
+        lines.append(f"{label.ljust(lwidth)}  {bar} {value:.3g}")
+    return "\n".join(lines)

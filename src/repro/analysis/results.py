@@ -1,0 +1,104 @@
+"""Containers for experiment results.
+
+Every workload returns a :class:`RunResult`; the benchmark harnesses
+assemble them into :class:`Series` (one line of a figure) and
+:class:`Table` (one table of the paper), which the report module
+renders as text mirrors of the paper's artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run."""
+
+    #: What was run (interface / configuration label).
+    label: str
+    #: Simulated cycles the measured phase took.
+    cycles: float
+    #: Operations completed in the measured phase.
+    operations: float
+    #: Bytes processed in the measured phase.
+    bytes_processed: float = 0.0
+    #: Counter snapshot deltas for the measured phase.
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: Clock frequency, for time conversions.
+    freq_hz: float = 2.7e9
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.freq_hz
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.seconds if self.cycles else 0.0
+
+    @property
+    def mb_per_second(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return (self.bytes_processed / (1 << 20)) / self.seconds
+
+    @property
+    def latency_us(self) -> float:
+        """Mean latency per operation in microseconds."""
+        if not self.operations:
+            return 0.0
+        return self.seconds / self.operations * 1e6
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """This run's ops/s relative to another's."""
+        if other.ops_per_second == 0:
+            return 0.0
+        return self.ops_per_second / other.ops_per_second
+
+
+@dataclass
+class Series:
+    """One line of a figure: label plus (x, y) points."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+    def y_at(self, x: float) -> Optional[float]:
+        for px, py in self.points:
+            if px == x:
+                return py
+        return None
+
+    def relative_to(self, baseline: "Series") -> "Series":
+        """Pointwise ratio against a baseline series (matching xs)."""
+        out = Series(f"{self.label} / {baseline.label}")
+        for x, y in self.points:
+            base = baseline.y_at(x)
+            if base:
+                out.add(x, y / base)
+        return out
+
+
+@dataclass
+class Table:
+    """A small named grid, rendered like a paper table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append(cells)

@@ -1,0 +1,5 @@
+"""Baselines beyond plain Linux mmap/read: LATR lazy shootdowns."""
+
+from repro.baselines.latr import LatrUnmapper
+
+__all__ = ["LatrUnmapper"]

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Runs compact versions of the paper's experiments without pytest — for
+exploring the simulator interactively.  ``python -m repro list`` shows
+the registry; the full-scale regenerations live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.analysis.report import format_series, format_table
+from repro.analysis.results import Series, Table
+from repro.config import MEDIA_PRESETS
+from repro.paging.tlb import AccessPattern
+from repro.system import System
+from repro.workloads import (
+    ApacheConfig,
+    DaxVMOptions,
+    EphemeralConfig,
+    Interface,
+    KVConfig,
+    PRedisConfig,
+    RepetitiveConfig,
+    ServerInterface,
+    YCSBConfig,
+    run_apache,
+    run_ephemeral,
+    run_predis,
+    run_repetitive,
+    run_ycsb,
+)
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], None]] = {}
+
+
+def experiment(name: str, help_text: str):
+    def decorate(fn):
+        fn.help_text = help_text
+        EXPERIMENTS[name] = fn
+        return fn
+    return decorate
+
+
+def _system(args, **kw) -> System:
+    costs = MEDIA_PRESETS[args.media]()
+    return System(costs=costs, device_bytes=args.device << 30,
+                  aged=not args.fresh, **kw)
+
+
+@experiment("ephemeral", "read-once file access across interfaces")
+def _ephemeral(args):
+    table = Table(f"Ephemeral access, {args.size >> 10} KB files",
+                  ["interface", "us/file", "MB/s"])
+    for interface in (Interface.READ, Interface.MMAP,
+                      Interface.MMAP_POPULATE, Interface.DAXVM):
+        system = _system(args)
+        cfg = EphemeralConfig(file_size=args.size, num_files=args.ops,
+                              num_threads=args.threads,
+                              interface=interface)
+        r = run_ephemeral(system, cfg)
+        table.add_row(interface.value, r.latency_us, r.mb_per_second)
+    print(format_table(table))
+
+
+@experiment("scaling", "read-once throughput vs thread count (fig 1b)")
+def _scaling(args):
+    series = {i: Series(i.value) for i in (Interface.READ,
+                                           Interface.MMAP,
+                                           Interface.DAXVM)}
+    for threads in (1, 2, 4, 8, 16):
+        for interface in series:
+            system = _system(args)
+            cfg = EphemeralConfig(file_size=args.size,
+                                  num_files=args.ops,
+                                  num_threads=threads,
+                                  interface=interface)
+            r = run_ephemeral(system, cfg)
+            series[interface].add(threads, r.ops_per_second / 1e3)
+    print(format_series("Read-once throughput (Kops/s)",
+                        series.values(), x_label="threads"))
+
+
+@experiment("repetitive", "database-style 4KB ops over one big file")
+def _repetitive(args):
+    table = Table("Repetitive 4KB ops over a large file",
+                  ["interface", "pattern", "Kops/s"])
+    for pattern in (AccessPattern.SEQUENTIAL, AccessPattern.RANDOM):
+        for interface in (Interface.READ, Interface.MMAP,
+                          Interface.DAXVM):
+            system = _system(args)
+            cfg = RepetitiveConfig(
+                file_size=96 << 20, op_size=4096,
+                num_ops=(96 << 20) // 4096, pattern=pattern,
+                interface=interface, monitor_every=8192,
+                daxvm=DaxVMOptions(ephemeral=False, unmap_async=False,
+                                   nosync=True))
+            r = run_repetitive(system, cfg)
+            table.add_row(interface.value, pattern.value,
+                          r.ops_per_second / 1e3)
+    print(format_table(table))
+
+
+@experiment("apache", "webserver scalability (fig 8a)")
+def _apache(args):
+    bars = [("read", ServerInterface.READ, None),
+            ("mmap", ServerInterface.MMAP, None),
+            ("daxvm", ServerInterface.DAXVM, DaxVMOptions.full())]
+    series = {name: Series(name) for name, _i, _o in bars}
+    for workers in (1, 4, 8, 16):
+        for name, interface, opts in bars:
+            system = _system(args)
+            cfg = ApacheConfig(num_workers=workers, requests=args.ops,
+                               interface=interface,
+                               daxvm=opts or DaxVMOptions.full())
+            r = run_apache(system, cfg)
+            series[name].add(workers, r.ops_per_second / 1e3)
+    print(format_series("Apache throughput (Kreq/s)", series.values(),
+                        x_label="cores"))
+
+
+@experiment("predis", "P-Redis boot and warm-up timeline (fig 9b)")
+def _predis(args):
+    for interface in (Interface.MMAP, Interface.MMAP_POPULATE,
+                      Interface.DAXVM):
+        system = _system(args)
+        cfg = PRedisConfig(cache_size=512 << 20, num_gets=args.ops,
+                           window=max(500, args.ops // 16),
+                           interface=interface)
+        r = run_predis(system, cfg)
+        timeline = " ".join(f"{v / 1e3:5.0f}"
+                            for _t, v in r.timeline.points[:8])
+        print(f"{interface.value:>10}: boot={r.boot_seconds * 1e3:8.2f}ms"
+              f"  Kops/s: {timeline}")
+
+
+@experiment("ycsb", "YCSB load_a over the Pmem-RocksDB model (fig 9c)")
+def _ycsb(args):
+    table = Table("YCSB load_a (Kops/s)", ["variant", "Kops/s",
+                                           "sync commits"])
+    variants = [
+        ("mmap", Interface.MMAP, None, False),
+        ("daxvm", Interface.DAXVM,
+         DaxVMOptions(ephemeral=False, unmap_async=False), False),
+        ("daxvm+pz+ns", Interface.DAXVM,
+         DaxVMOptions(ephemeral=False, unmap_async=False, nosync=True),
+         True),
+    ]
+    for name, interface, opts, prezero in variants:
+        system = _system(args, fs_type=args.fs)
+        kv = KVConfig(interface=interface)
+        if opts is not None:
+            kv = KVConfig(interface=interface, daxvm=opts)
+        cfg = YCSBConfig(workload="load_a", num_ops=args.ops,
+                         preload_records=0, kv=kv, prezero=prezero)
+        r = run_ycsb(system, cfg)
+        table.add_row(name, r.ops_per_second / 1e3,
+                      r.counters.get("journal.sync_commits", 0))
+    print(format_table(table))
+
+
+@experiment("media", "DaxVM across storage media (§VI)")
+def _media(args):
+    table = Table("32KB ephemeral access across media",
+                  ["media", "read us", "daxvm us", "daxvm/read"])
+    for media, factory in MEDIA_PRESETS.items():
+        out = {}
+        for interface in (Interface.READ, Interface.DAXVM):
+            system = System(costs=factory(),
+                            device_bytes=args.device << 30, aged=True)
+            cfg = EphemeralConfig(file_size=32 << 10,
+                                  num_files=args.ops,
+                                  interface=interface)
+            out[interface] = run_ephemeral(system, cfg)
+        table.add_row(media, out[Interface.READ].latency_us,
+                      out[Interface.DAXVM].latency_us,
+                      out[Interface.READ].latency_us
+                      / out[Interface.DAXVM].latency_us)
+    print(format_table(table))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DaxVM reproduction experiments (compact versions; "
+                    "full regenerations live in benchmarks/)")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["list"],
+                        help="which experiment to run")
+    parser.add_argument("--ops", type=int, default=400,
+                        help="operation/file/request count")
+    parser.add_argument("--size", type=int, default=32 << 10,
+                        help="file size in bytes where applicable")
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--device", type=int, default=4,
+                        help="device size in GiB")
+    parser.add_argument("--fresh", action="store_true",
+                        help="fresh (unaged) file system image")
+    parser.add_argument("--fs", choices=("ext4", "nova", "xfs"),
+                        default="ext4")
+    parser.add_argument("--media", choices=sorted(MEDIA_PRESETS),
+                        default="optane")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, fn in sorted(EXPERIMENTS.items()):
+            print(f"{name:<12} {fn.help_text}")
+        return 0
+    EXPERIMENTS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

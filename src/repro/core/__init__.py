@@ -1,0 +1,33 @@
+"""DaxVM: the paper's contribution — a fast, scalable DAX-mmap interface.
+
+Five components (paper §IV), each its own module:
+
+* :mod:`repro.core.filetable` — pre-populated per-file page tables
+  (volatile in DRAM or persistent in PMem) maintained by the FS;
+* :mod:`repro.core.ephemeral` — the scalable address-space manager for
+  short-lived mappings;
+* :mod:`repro.core.async_unmap` — deferred, batched munmap;
+* :mod:`repro.core.prezero` — asynchronous storage block pre-zeroing;
+* :mod:`repro.core.monitor` — the MMU performance monitor that
+  migrates file tables from PMem to DRAM (Table III);
+
+composed behind the two new system calls in
+:mod:`repro.core.interface` (``daxvm_mmap`` / ``daxvm_munmap``).
+"""
+
+from repro.core.interface import DaxVM
+from repro.core.filetable import FileTable, FileTableManager
+from repro.core.ephemeral import EphemeralHeap
+from repro.core.async_unmap import AsyncUnmapper
+from repro.core.monitor import MMUMonitor
+from repro.core.prezero import PreZeroDaemon
+
+__all__ = [
+    "AsyncUnmapper",
+    "DaxVM",
+    "EphemeralHeap",
+    "FileTable",
+    "FileTableManager",
+    "MMUMonitor",
+    "PreZeroDaemon",
+]

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch simulator-level failures without masking programming errors.
+Errors that mirror POSIX errno semantics carry an ``errno_name`` so that
+workloads can branch on them the way C code branches on errno.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro simulator."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable thread exists but blocked threads remain."""
+
+
+class MemoryError_(ReproError):
+    """Physical memory exhaustion (DRAM or PMem)."""
+
+    errno_name = "ENOMEM"
+
+
+class AddressSpaceError(ReproError):
+    """Virtual address space allocation failure or misuse."""
+
+    errno_name = "ENOMEM"
+
+
+class InvalidArgumentError(ReproError):
+    """An operation was called with arguments POSIX would reject."""
+
+    errno_name = "EINVAL"
+
+
+class PermissionFault(ReproError):
+    """Access violated the permissions of a mapping (SIGSEGV-like)."""
+
+    errno_name = "EACCES"
+
+
+class SegmentationFault(ReproError):
+    """Access touched an unmapped virtual address (SIGSEGV-like)."""
+
+    errno_name = "EFAULT"
+
+
+class FileSystemError(ReproError):
+    """Generic file system failure."""
+
+    errno_name = "EIO"
+
+
+class NoSuchFileError(FileSystemError):
+    """Path lookup failed."""
+
+    errno_name = "ENOENT"
+
+
+class FileExistsError_(FileSystemError):
+    """Exclusive create hit an existing path."""
+
+    errno_name = "EEXIST"
+
+
+class NoSpaceError(FileSystemError):
+    """The block allocator ran out of free blocks."""
+
+    errno_name = "ENOSPC"
+
+
+class NotSupportedError(ReproError):
+    """Operation rejected by a relaxed-POSIX interface (e.g. DaxVM)."""
+
+    errno_name = "ENOTSUP"
+
+
+class BadFileDescriptorError(ReproError):
+    """Operation on a closed or invalid file descriptor."""
+
+    errno_name = "EBADF"

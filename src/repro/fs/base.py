@@ -1,0 +1,301 @@
+"""Shared file-system machinery: allocation, zeroing, syscall paths.
+
+Concrete file systems (:class:`~repro.fs.ext4.Ext4Dax`,
+:class:`~repro.fs.nova.Nova`) differ in exactly the dimensions the
+paper exploits (§III-B, §V-B Appends):
+
+* whether the **write syscall path zeroes** newly allocated blocks
+  (ext4-DAX does, conservatively; NOVA does not),
+* whether **fallocate zeroes** (both must, for secure DAX mmap),
+* the **metadata update discipline** (journal vs per-inode log), and
+* whether a **MAP_SYNC write fault** must commit metadata synchronously
+  (ext4: yes — the Fig. 9c bottleneck; NOVA: no-op).
+
+The base class also owns the two hook points DaxVM plugs into: block
+(de)allocation hooks for file-table maintenance, and a free
+interceptor for asynchronous pre-zeroing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Tuple
+
+from repro.config import CostModel
+from repro.errors import InvalidArgumentError
+from repro.fs.block import BLOCK_SIZE, BLOCKS_PER_PMD, BlockDevice
+from repro.fs.intervals import IntervalSet
+from repro.fs.vfs import VFS, DaxFile, Inode
+from repro.mem.latency import MemoryModel
+from repro.mem.physmem import Medium
+from repro.sim.engine import Compute
+from repro.sim.stats import Stats
+
+#: (inode, [(phys_block, length), ...]) — fired after (de)allocation.
+#: A hook may return cycles for the file system to charge to the
+#: operation (DaxVM file-table maintenance is paid by the FS op that
+#: triggered it — the §V-B "latency overheads" accounting).
+BlockHook = Callable[[Inode, List[Tuple[int, int]]], Optional[float]]
+#: Intercepts frees: receives runs, returns True if it took ownership.
+FreeInterceptor = Callable[[List[Tuple[int, int]]], bool]
+
+
+class FileSystem:
+    """Base PMem file system with DAX syscall paths."""
+
+    name = "fs"
+    #: Does the write() syscall zero freshly allocated blocks?
+    zeroes_on_write_path = True
+    #: Does fallocate() zero (required for secure DAX mmap appends)?
+    zeroes_on_fallocate = True
+    #: Does a MAP_SYNC write fault need a synchronous metadata commit?
+    mapsync_needs_commit = True
+
+    def __init__(self, device: BlockDevice, vfs: VFS, costs: CostModel,
+                 mem: MemoryModel, stats: Stats):
+        self.device = device
+        self.vfs = vfs
+        self.costs = costs
+        self.mem = mem
+        self.stats = stats
+        #: Free blocks known to already contain zeroes.
+        self.zeroed = IntervalSet()
+        self.alloc_hooks: List[BlockHook] = []
+        self.free_hooks: List[BlockHook] = []
+        self.free_interceptor: Optional[FreeInterceptor] = None
+        #: Generators run (``yield from``) before an inode's blocks are
+        #: reclaimed — DaxVM forces deferred unmaps synchronously here
+        #: (the file-system race guard of §IV-C).
+        self.free_barriers: List[Callable[[Inode], object]] = []
+        #: Wired by System; used for device bandwidth contention.
+        self.engine = None
+        #: Huge-page (PMD) mappings allowed?  Fig. 6 turns them off.
+        self.allow_huge = True
+
+    def _device_wait(self, read_bytes: float, write_bytes: float) -> float:
+        """Extra cycles from aggregate PMem bandwidth contention."""
+        if self.engine is None:
+            return 0.0
+        return self.mem.device_delay(read_bytes, write_bytes,
+                                     self.engine.now)
+
+    # ------------------------------------------------------------------
+    # open/close.
+    # ------------------------------------------------------------------
+    def open(self, path: str, create: bool = False):
+        """Open (optionally creating) a file; returns a DaxFile."""
+        yield Compute(self.costs.syscall_crossing)
+        if create and path not in self.vfs:
+            inode = self.vfs.create(path)
+            yield from self._metadata_update()
+        else:
+            inode = self.vfs.lookup(path)
+        warm, hook_cycles = self.vfs.inode_cache.lookup(inode)
+        cost = self.costs.vfs_open_warm + hook_cycles
+        if not warm:
+            cost += self.costs.vfs_open_cold_extra
+            self.stats.add("vfs.cold_opens")
+        else:
+            self.stats.add("vfs.warm_opens")
+        yield Compute(cost)
+        return DaxFile(inode, self)
+
+    def close(self, file: DaxFile):
+        file._check_open()
+        file.closed = True
+        yield Compute(self.costs.syscall_crossing + self.costs.vfs_close)
+
+    # ------------------------------------------------------------------
+    # Data syscalls.
+    # ------------------------------------------------------------------
+    def read(self, file: DaxFile, offset: int, nbytes: int,
+             random_access: bool = False):
+        """read() into a DRAM user buffer: kernel copy from PMem.
+
+        ``random_access`` charges the PMem first-access latency a
+        non-sequential read pays before the copy streams.
+        """
+        file._check_open()
+        if offset + nbytes > file.inode.size:
+            nbytes = max(0, file.inode.size - offset)
+        yield Compute(self.costs.syscall_crossing)
+        if nbytes == 0:
+            return 0
+        extents = self._extents_touched(file.inode, offset, nbytes)
+        lookup = self.costs.extent_lookup * extents
+        copy = self.mem.memcpy(nbytes, Medium.PMEM, Medium.DRAM, kernel=True)
+        if random_access:
+            copy += self.mem.load_latency(Medium.PMEM)
+        copy = max(copy, self._device_wait(nbytes, 0))
+        yield Compute(lookup + copy)
+        self.stats.add("fs.read_bytes", nbytes)
+        return nbytes
+
+    def write(self, file: DaxFile, offset: int, nbytes: int):
+        """write() from a DRAM user buffer: nt-store copy to PMem.
+
+        Extends the file (allocating blocks) when the write passes EOF.
+        """
+        file._check_open()
+        if nbytes <= 0:
+            raise InvalidArgumentError("write size must be positive")
+        yield Compute(self.costs.syscall_crossing)
+        new_end = offset + nbytes
+        if new_end > file.inode.block_count * BLOCK_SIZE:
+            needed = -(-new_end // BLOCK_SIZE) - file.inode.block_count
+            yield from self._allocate(file.inode, needed,
+                                      zero=self.zeroes_on_write_path)
+        extents = self._extents_touched(file.inode, offset, nbytes)
+        lookup = self.costs.extent_lookup * extents
+        copy = self.mem.memcpy(nbytes, Medium.DRAM, Medium.PMEM,
+                               kernel=True, ntstore=True)
+        copy = max(copy, self._device_wait(0, nbytes))
+        yield Compute(lookup + copy)
+        yield from self._metadata_update()
+        file.inode.size = max(file.inode.size, new_end)
+        self.stats.add("fs.write_bytes", nbytes)
+        return nbytes
+
+    def fallocate(self, file: DaxFile, new_size: int):
+        """Reserve blocks up to ``new_size`` (zeroing per FS policy)."""
+        file._check_open()
+        yield Compute(self.costs.syscall_crossing)
+        needed = -(-new_size // BLOCK_SIZE) - file.inode.block_count
+        if needed > 0:
+            yield from self._allocate(file.inode, needed,
+                                      zero=self.zeroes_on_fallocate)
+            yield from self._metadata_update()
+        file.inode.size = max(file.inode.size, new_size)
+
+    def fsync(self, file: DaxFile):
+        """fsync after write() syscalls: the data is already durable
+        (nt-stores), so only metadata needs committing."""
+        file._check_open()
+        yield Compute(self.costs.syscall_crossing)
+        yield from self._commit_sync()
+        self.stats.add("fs.fsync_calls")
+
+    def truncate(self, file: DaxFile, new_size: int):
+        file._check_open()
+        yield Compute(self.costs.syscall_crossing)
+        yield from self._truncate_inode(file.inode, new_size)
+
+    def unlink(self, path: str):
+        yield Compute(self.costs.syscall_crossing)
+        inode = self.vfs.lookup(path)
+        yield from self._truncate_inode(inode, 0)
+        self.vfs.remove(path)
+        yield from self._metadata_update()
+
+    # ------------------------------------------------------------------
+    # Mapping support (used by the VM layer and DaxVM).
+    # ------------------------------------------------------------------
+    def frame_for_page(self, inode: Inode, page_index: int) -> Optional[int]:
+        """Physical frame backing file page ``page_index`` (or None)."""
+        block = inode.extents.physical_block(page_index)
+        if block is None:
+            return None
+        return self.device.frame_of(block)
+
+    def pmd_capable(self, inode: Inode, page_index: int) -> bool:
+        """May the 2 MB region holding this page map as a huge page?"""
+        return self.allow_huge and inode.extents.pmd_capable(page_index)
+
+    def fault_lookup_cost(self, inode: Inode) -> float:
+        """Extent-tree lookup cycles a DAX fault pays for this file."""
+        n = len(inode.extents)
+        return self.costs.fault_extent_lookup * (1.0 + math.log2(n + 1))
+
+    def mapsync_fault(self):
+        """Metadata work a MAP_SYNC write fault must perform."""
+        if self.mapsync_needs_commit:
+            yield from self._commit_sync()
+        else:
+            yield Compute(0.0)
+
+    # ------------------------------------------------------------------
+    # Internals shared by subclasses.
+    # ------------------------------------------------------------------
+    def _allocate(self, inode: Inode, nblocks: int, zero: bool):
+        """Allocate blocks, charge zeroing, fire DaxVM hooks.
+
+        Allocation proceeds in 2 MB chunks, each attempting an aligned
+        contiguous extent first (mballoc-style goal allocation), so a
+        file's huge-page coverage degrades *gradually* with free-space
+        fragmentation instead of all-or-nothing.
+        """
+        runs: List[Tuple[int, int]] = []
+        remaining = nblocks
+        while remaining > 0:
+            chunk = min(remaining, BLOCKS_PER_PMD)
+            align = BLOCKS_PER_PMD if chunk == BLOCKS_PER_PMD else 1
+            runs.extend(self.device.alloc(chunk, align=align))
+            remaining -= chunk
+        for start, length in runs:
+            inode.extents.append(start, length)
+        yield Compute(self.costs.block_alloc * len(runs))
+        self.stats.add("fs.blocks_allocated", nblocks)
+        if zero:
+            dirty = 0
+            for start, length in runs:
+                pre = self.zeroed.remove(start, start + length)
+                dirty += length - pre
+            if dirty:
+                cost = self.mem.zero(dirty * BLOCK_SIZE)
+                cost = max(cost, self._device_wait(0, dirty * BLOCK_SIZE))
+                self.stats.add("fs.zeroing_cycles", cost)
+                self.stats.add("fs.blocks_zeroed_sync", dirty)
+                yield Compute(cost)
+        else:
+            for start, length in runs:
+                self.zeroed.remove(start, start + length)
+        hook_cycles = 0.0
+        for hook in self.alloc_hooks:
+            hook_cycles += hook(inode, runs) or 0.0
+        if hook_cycles:
+            self.stats.add("fs.filetable_maintenance_cycles", hook_cycles)
+            yield Compute(hook_cycles)
+
+    def _truncate_inode(self, inode: Inode, new_size: int):
+        for barrier in self.free_barriers:
+            yield from barrier(inode)
+        new_blocks = -(-new_size // BLOCK_SIZE)
+        freed = inode.extents.truncate_to(new_blocks)
+        inode.size = min(inode.size, new_size)
+        if not freed:
+            return
+        yield Compute(self.costs.block_free * len(freed))
+        self.stats.add("fs.blocks_freed", sum(l for _s, l in freed))
+        hook_cycles = 0.0
+        for hook in self.free_hooks:
+            hook_cycles += hook(inode, freed) or 0.0
+        if hook_cycles:
+            self.stats.add("fs.filetable_maintenance_cycles", hook_cycles)
+            yield Compute(hook_cycles)
+        if self.free_interceptor is not None and self.free_interceptor(freed):
+            self.stats.add("fs.frees_intercepted", len(freed))
+        else:
+            for start, length in freed:
+                self.device.free(start, length)
+        yield from self._metadata_update()
+
+    def _extents_touched(self, inode: Inode, offset: int,
+                         nbytes: int) -> int:
+        first = offset // BLOCK_SIZE
+        last = (offset + nbytes - 1) // BLOCK_SIZE
+        count = 0
+        block = first
+        while block <= last:
+            extent = inode.extents.find(block)
+            count += 1
+            if extent is None:
+                break
+            block = extent.logical_end
+        return max(1, count)
+
+    # Metadata disciplines, overridden by subclasses. ------------------
+    def _metadata_update(self):
+        raise NotImplementedError
+
+    def _commit_sync(self):
+        raise NotImplementedError

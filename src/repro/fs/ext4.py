@@ -1,0 +1,42 @@
+"""ext4-DAX: journaling, conservative zeroing, MAP_SYNC commits.
+
+The traits that matter to the paper:
+
+* metadata updates join jbd2 transactions (amortised commits);
+* the write() syscall path **zeroes newly allocated blocks even though
+  it then overwrites them with nt-stores** — the conservatism DaxVM's
+  pre-zeroing turns into a *win* for mmap appends in Fig. 7 (left);
+* a MAP_SYNC write fault forces a synchronous journal commit so that
+  allocating metadata is durable before user space dirties the page —
+  per-4 KB on aged images, which is the Fig. 9c scalability killer.
+"""
+
+from __future__ import annotations
+
+from repro.config import CostModel
+from repro.fs.base import FileSystem
+from repro.fs.block import BlockDevice
+from repro.fs.journal import Journal
+from repro.fs.vfs import VFS
+from repro.mem.latency import MemoryModel
+from repro.sim.stats import Stats
+
+
+class Ext4Dax(FileSystem):
+    """ext4 mounted with ``-o dax``."""
+
+    name = "ext4-dax"
+    zeroes_on_write_path = True
+    zeroes_on_fallocate = True
+    mapsync_needs_commit = True
+
+    def __init__(self, device: BlockDevice, vfs: VFS, costs: CostModel,
+                 mem: MemoryModel, stats: Stats):
+        super().__init__(device, vfs, costs, mem, stats)
+        self.journal = Journal(costs, stats)
+
+    def _metadata_update(self):
+        yield from self.journal.metadata_update()
+
+    def _commit_sync(self):
+        yield from self.journal.commit_sync()

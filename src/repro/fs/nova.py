@@ -1,0 +1,48 @@
+"""NOVA: a log-structured, PMem-aware file system model.
+
+NOVA (Xu & Swanson, FAST'16) differs from ext4-DAX in exactly the ways
+Fig. 7 (right panel) and the NOVA YCSB results exercise:
+
+* per-inode logs: each metadata update is one log append, synchronous
+  and in-place — cheap, and **MAP_SYNC becomes a no-op** (no deferred
+  allocation metadata to force out on a write fault);
+* the write() syscall path does **not** zero freshly allocated blocks
+  (nt-stores overwrite them anyway), so syscall appends are much
+  faster than on ext4;
+* fallocate still must zero — secure DAX mmap appends depend on it —
+  which is why mmap appends trail write() on NOVA until DaxVM's
+  asynchronous pre-zeroing closes the gap.
+"""
+
+from __future__ import annotations
+
+from repro.config import CostModel
+from repro.fs.base import FileSystem
+from repro.fs.block import BlockDevice
+from repro.fs.vfs import VFS
+from repro.mem.latency import MemoryModel
+from repro.sim.engine import Compute
+from repro.sim.stats import Stats
+
+
+class Nova(FileSystem):
+    """NOVA in relaxed mode (in-place DAX updates allowed)."""
+
+    name = "nova"
+    zeroes_on_write_path = False
+    zeroes_on_fallocate = True
+    mapsync_needs_commit = False
+
+    def __init__(self, device: BlockDevice, vfs: VFS, costs: CostModel,
+                 mem: MemoryModel, stats: Stats):
+        super().__init__(device, vfs, costs, mem, stats)
+        self.log_appends = 0
+
+    def _metadata_update(self):
+        self.log_appends += 1
+        self.stats.add("nova.log_appends")
+        yield Compute(self.costs.nova_log_append)
+
+    def _commit_sync(self):
+        # In-place synchronous metadata: nothing deferred to flush.
+        yield Compute(0.0)

@@ -1,0 +1,12 @@
+"""Physical memory substrate: DRAM and PMem media, frames and costs."""
+
+from repro.mem.latency import BandwidthThrottle, MemoryModel
+from repro.mem.physmem import Medium, PhysicalMemory, Region
+
+__all__ = [
+    "BandwidthThrottle",
+    "MemoryModel",
+    "Medium",
+    "PhysicalMemory",
+    "Region",
+]

@@ -1,0 +1,163 @@
+"""Memory access cost functions and bandwidth throttling.
+
+These pure functions translate "touch N bytes on medium M in pattern P"
+into cycles, encoding the micro-architectural observations of §III-C of
+the paper:
+
+* user-space code reading a fresh DAX mapping pays PMem latency /
+  bandwidth, while a ``read()`` system call's copy prefetches the data
+  into the cache hierarchy, so subsequent user-space processing runs at
+  cache speed;
+* nt-stores deliver roughly double the PMem write bandwidth of regular
+  stores followed by clwb/sfence flushes (Yang et al., FAST'20);
+* kernel copies cannot use AVX-512 (register save/restore across the
+  boundary), so they run at a discounted bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.config import CostModel
+from repro.mem.physmem import Medium
+
+
+class SharedBandwidth:
+    """The PMem device's aggregate read/write bandwidth ceilings.
+
+    Single-threaded runs never feel these (one thread's streaming rate
+    sits well below the device total); at high thread counts they are
+    what flattens every interface's scaling curve, read() included.
+    """
+
+    def __init__(self, read_bw: float, write_bw: float, freq_hz: float):
+        self._read = BandwidthThrottle(read_bw, freq_hz)
+        self._write = BandwidthThrottle(write_bw, freq_hz)
+
+    def delay(self, read_bytes: float, write_bytes: float,
+              now: float) -> float:
+        """Cycles until the device can complete this transfer."""
+        wait = 0.0
+        if read_bytes:
+            wait = max(wait, self._read.delay_for(int(read_bytes), now))
+        if write_bytes:
+            wait = max(wait, self._write.delay_for(int(write_bytes), now))
+        return wait
+
+
+class MemoryModel:
+    """Cycle costs for loads, stores, copies and flushes."""
+
+    def __init__(self, costs: CostModel):
+        self.costs = costs
+        #: Device-level contention; set by System, absent in unit use.
+        self.shared: "SharedBandwidth | None" = None
+        #: Optane media interference multiplier: background write
+        #: streams (pre-zeroing) disturb concurrent accesses beyond
+        #: their bandwidth share (FAST'20's mixed-traffic penalty).
+        #: Raised by the pre-zero daemon while it is actively zeroing.
+        self.interference: float = 1.0
+
+    def device_delay(self, read_bytes: float, write_bytes: float,
+                     now: float) -> float:
+        """Extra wait imposed by aggregate PMem bandwidth (0 if the
+        shared model is not wired up)."""
+        if self.shared is None:
+            return 0.0
+        return self.shared.delay(read_bytes, write_bytes, now)
+
+    # -- scalar access ------------------------------------------------------
+    def load_latency(self, medium: Medium, cached: bool = False) -> float:
+        """Latency of one dependent load from ``medium``."""
+        if cached:
+            return self.costs.cache_load_latency
+        if medium is Medium.DRAM:
+            return self.costs.dram_load_latency
+        return self.costs.pmem_load_latency
+
+    # -- streaming access ---------------------------------------------------
+    def stream_read(self, nbytes: int, medium: Medium,
+                    cached: bool = False) -> float:
+        """Sequentially scan ``nbytes`` (AVX-512 width reads)."""
+        if cached:
+            bandwidth = self.costs.dram_read_bw * 2.5  # LLC-resident
+        elif medium is Medium.DRAM:
+            bandwidth = self.costs.dram_read_bw
+        else:
+            bandwidth = self.costs.pmem_read_bw / self.interference
+        return self.costs.copy_cycles(nbytes, bandwidth)
+
+    def stream_write(self, nbytes: int, medium: Medium,
+                     ntstore: bool = True) -> float:
+        """Write ``nbytes`` sequentially.
+
+        ``ntstore=True`` streams past the cache at nt-store bandwidth
+        (immediately durable on PMem).  ``ntstore=False`` models plain
+        cached stores: they complete at near-DRAM speed and the data
+        sits dirty in the cache — durability costs are paid later by
+        whoever flushes (msync/fsync via :meth:`clwb_flush`).
+        """
+        if medium is Medium.DRAM or not ntstore:
+            bandwidth = self.costs.dram_write_bw
+        else:
+            bandwidth = self.costs.pmem_ntstore_bw / self.interference
+        return self.costs.copy_cycles(nbytes, bandwidth)
+
+    def random_read(self, nbytes: int, granule: int,
+                    medium: Medium) -> float:
+        """Read ``nbytes`` in random ``granule``-sized chunks."""
+        chunks = max(1, nbytes // granule)
+        per_chunk = (self.load_latency(medium)
+                     + self.stream_read(granule, medium) * 0.55)
+        return chunks * per_chunk
+
+    # -- copies ---------------------------------------------------------------
+    def memcpy(self, nbytes: int, src: Medium, dst: Medium,
+               kernel: bool = False, ntstore: bool = True) -> float:
+        """Copy ``nbytes``; bandwidth is the min of source and sink.
+
+        ``kernel=True`` applies the no-AVX discount of syscall-path
+        copies (§III-C, Vectorization).
+        """
+        read_bw = (self.costs.pmem_read_bw if src is Medium.PMEM
+                   else self.costs.dram_read_bw)
+        if dst is Medium.DRAM or not ntstore:
+            # Cached stores: the cache absorbs them at DRAM-like speed
+            # (PMem durability, if needed, is a later clwb flush).
+            write_bw = self.costs.dram_write_bw
+        else:
+            write_bw = self.costs.pmem_ntstore_bw
+        bandwidth = min(read_bw, write_bw)
+        if kernel:
+            bandwidth *= self.costs.kernel_copy_ratio
+        return self.costs.copy_cycles(nbytes, bandwidth)
+
+    # -- persistence ------------------------------------------------------
+    def clwb_flush(self, nbytes: int) -> float:
+        """Flush ``nbytes`` of dirty cache lines to PMem (clwb+sfence)."""
+        return self.costs.copy_cycles(nbytes, self.costs.pmem_clwb_bw)
+
+    def zero(self, nbytes: int) -> float:
+        """Zero ``nbytes`` of PMem with nt-stores."""
+        return self.costs.copy_cycles(nbytes, self.costs.pmem_zero_bw)
+
+
+class BandwidthThrottle:
+    """A token bucket limiting a background consumer's PMem bandwidth.
+
+    DaxVM's pre-zeroing kthread is rate limited so zeroing does not
+    saturate PMem bandwidth and stall foreground operations (§IV-E).
+    The bucket accrues budget in simulated time; ``delay_for`` returns
+    how long the consumer must wait before it may move ``nbytes``.
+    """
+
+    def __init__(self, bytes_per_second: float, freq_hz: float):
+        if bytes_per_second <= 0:
+            raise ValueError("throttle bandwidth must be positive")
+        self.bytes_per_cycle = bytes_per_second / freq_hz
+        self._paid_until = 0.0
+
+    def delay_for(self, nbytes: int, now: float) -> float:
+        """Cycles to wait (possibly 0) before moving ``nbytes`` now."""
+        cost_cycles = nbytes / self.bytes_per_cycle
+        start = max(now, self._paid_until)
+        self._paid_until = start + cost_cycles
+        return self._paid_until - now

@@ -1,0 +1,97 @@
+"""Physical memory: the DRAM and PMem media and frame accounting.
+
+The simulator does not store file *contents* — only placement.  What
+matters for every result in the paper is **where** bytes and page-table
+pages live (DRAM vs PMem), since the medium drives load latency, page
+walk costs (Table II) and bandwidth.  ``PhysicalMemory`` hands out 4 KB
+frame numbers from each medium and tracks usage so experiments can
+report footprint numbers (e.g. DaxVM's file-table storage tax, §V-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.errors import MemoryError_
+
+
+class Medium(enum.Enum):
+    """The storage medium backing a physical frame."""
+
+    DRAM = "dram"
+    PMEM = "pmem"
+
+
+class Region:
+    """A frame allocator over one contiguous physical medium."""
+
+    FRAME_SIZE = 4096
+
+    def __init__(self, medium: Medium, size_bytes: int, base_frame: int = 0):
+        self.medium = medium
+        self.size_bytes = size_bytes
+        self.total_frames = size_bytes // Region.FRAME_SIZE
+        self.base_frame = base_frame
+        self._next_frame = 0
+        self._free: List[int] = []
+        self.allocated_frames = 0
+        self.peak_frames = 0
+
+    def alloc_frame(self) -> int:
+        """Allocate one 4 KB frame; returns its global frame number."""
+        if self._free:
+            frame = self._free.pop()
+        elif self._next_frame < self.total_frames:
+            frame = self.base_frame + self._next_frame
+            self._next_frame += 1
+        else:
+            raise MemoryError_(
+                f"{self.medium.value}: out of frames "
+                f"({self.total_frames} total)")
+        self.allocated_frames += 1
+        self.peak_frames = max(self.peak_frames, self.allocated_frames)
+        return frame
+
+    def free_frame(self, frame: int) -> None:
+        self._free.append(frame)
+        self.allocated_frames -= 1
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.allocated_frames * Region.FRAME_SIZE
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.peak_frames * Region.FRAME_SIZE
+
+
+class PhysicalMemory:
+    """The machine's physical memory: one DRAM and one PMem region.
+
+    Frame numbers are globally unique across media (PMem frames start
+    above the DRAM range), so a page-table entry's target medium can be
+    recovered from the frame number alone — exactly the property the
+    page-walk cost model needs.
+    """
+
+    def __init__(self, dram_bytes: int, pmem_bytes: int):
+        self.dram = Region(Medium.DRAM, dram_bytes, base_frame=0)
+        pmem_base = self.dram.total_frames
+        self.pmem = Region(Medium.PMEM, pmem_bytes, base_frame=pmem_base)
+        self._regions: Dict[Medium, Region] = {
+            Medium.DRAM: self.dram,
+            Medium.PMEM: self.pmem,
+        }
+
+    def region(self, medium: Medium) -> Region:
+        return self._regions[medium]
+
+    def alloc_frame(self, medium: Medium) -> int:
+        return self._regions[medium].alloc_frame()
+
+    def free_frame(self, frame: int) -> None:
+        self._regions[self.medium_of(frame)].free_frame(frame)
+
+    def medium_of(self, frame: int) -> Medium:
+        return Medium.DRAM if frame < self.pmem.base_frame else Medium.PMEM

@@ -1,0 +1,37 @@
+"""x86-64 paging substrate: radix page tables, walk costs, TLBs."""
+
+from repro.paging.flags import PageFlags
+from repro.paging.pagetable import (
+    PAGE_SHIFT,
+    PGD_LEVEL,
+    PMD_LEVEL,
+    PTE_LEVEL,
+    PUD_LEVEL,
+    Level,
+    PageTable,
+    PageTableNode,
+    Translation,
+    level_shift,
+    level_size,
+)
+from repro.paging.tlb import AccessPattern, ShootdownController, TLBModel
+from repro.paging.walker import PageWalker
+
+__all__ = [
+    "AccessPattern",
+    "Level",
+    "PAGE_SHIFT",
+    "PGD_LEVEL",
+    "PMD_LEVEL",
+    "PTE_LEVEL",
+    "PUD_LEVEL",
+    "PageFlags",
+    "PageTable",
+    "PageTableNode",
+    "PageWalker",
+    "ShootdownController",
+    "TLBModel",
+    "Translation",
+    "level_shift",
+    "level_size",
+]

@@ -1,0 +1,54 @@
+"""Page table entry permission and status bits (x86-64 subset).
+
+The paper's §IV-A observation drives this module's design: most PTE
+status bits (accessed/dirty) exist to serve *volatile* memory
+management.  DaxVM file tables therefore carry only permission bits set
+to maximum, and per-process permissions are enforced at the attachment
+level — the hardware applies the minimum rights found across all the
+levels of a walk, which :meth:`PageFlags.combine` models.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PageFlags(enum.Flag):
+    """x86-64 page table entry bits the simulator cares about."""
+
+    NONE = 0
+    PRESENT = enum.auto()
+    WRITE = enum.auto()
+    USER = enum.auto()
+    ACCESSED = enum.auto()
+    DIRTY = enum.auto()
+    HUGE = enum.auto()
+    #: No-execute; carried for completeness.
+    NX = enum.auto()
+
+    @staticmethod
+    def rw() -> "PageFlags":
+        return PageFlags.PRESENT | PageFlags.WRITE | PageFlags.USER
+
+    @staticmethod
+    def ro() -> "PageFlags":
+        return PageFlags.PRESENT | PageFlags.USER
+
+    def combine(self, other: "PageFlags") -> "PageFlags":
+        """Effective rights across two walk levels (minimum rights).
+
+        PRESENT and WRITE must be granted at *every* level; status bits
+        (ACCESSED/DIRTY/HUGE) are properties of the leaf and are
+        carried through from whichever side holds them.
+        """
+        gated = (PageFlags.PRESENT | PageFlags.WRITE | PageFlags.USER)
+        status = (self | other) & ~gated
+        return (self & other & gated) | status
+
+    @property
+    def writable(self) -> bool:
+        return bool(self & PageFlags.WRITE) and bool(self & PageFlags.PRESENT)
+
+    @property
+    def present(self) -> bool:
+        return bool(self & PageFlags.PRESENT)

@@ -1,0 +1,55 @@
+"""The hardware page-walker cost model (Table II calibration).
+
+A TLB miss triggers a radix walk.  Its cost depends on the access
+pattern (how well the paging-structure caches and the data caches hold
+the intermediate entries) and, crucially for DaxVM, on the **medium**
+holding the leaf level: persistent file tables put PTEs in PMem, where
+a leaf read costs ~10x a DRAM read.  The model reproduces the paper's
+Table II (28/111 cycles DRAM, 103/821 cycles PMem for seq/rand access)
+and feeds both the workload cost accounting and the DaxVM MMU
+performance monitor (Table III).
+"""
+
+from __future__ import annotations
+
+from repro.config import CostModel
+from repro.mem.physmem import Medium
+from repro.paging.pagetable import PMD_LEVEL, PTE_LEVEL, Translation
+from repro.paging.tlb import AccessPattern
+
+
+class PageWalker:
+    """Average walk-cost model parameterised by pattern and leaf medium."""
+
+    def __init__(self, costs: CostModel):
+        self.costs = costs
+
+    def walk_cost(self, pattern: AccessPattern, leaf_medium: Medium,
+                  leaf_level: int = PTE_LEVEL) -> float:
+        """Average cycles per TLB miss."""
+        if leaf_level >= PMD_LEVEL:
+            # Huge leaf: one fewer level and the PMD entry lives in the
+            # process's private DRAM tables with high locality.
+            return self.costs.walk_huge
+        if pattern is AccessPattern.SEQUENTIAL:
+            upper = self.costs.walk_upper_seq
+            miss = self.costs.walk_leaf_miss_seq
+        else:
+            upper = self.costs.walk_upper_rand
+            miss = self.costs.walk_leaf_miss_rand
+        leaf = (self.costs.walk_leaf_pmem if leaf_medium is Medium.PMEM
+                else self.costs.walk_leaf_dram)
+        return upper + miss * leaf
+
+    def walk_cost_for(self, translation: Translation,
+                      pattern: AccessPattern) -> float:
+        """Walk cost using the media actually recorded by a tree walk."""
+        leaf_medium = translation.level_media[-1]
+        return self.walk_cost(pattern, leaf_medium, translation.leaf_level)
+
+    def mmu_overhead(self, misses: float, walk_cost: float,
+                     total_cycles: float) -> float:
+        """Fraction of execution spent in page walks (monitor input)."""
+        if total_cycles <= 0:
+            return 0.0
+        return (misses * walk_cost) / total_cycles

@@ -1,0 +1,278 @@
+"""The discrete-event engine: simulated time, threads, cores, effects.
+
+Simulated threads are Python generators.  A thread yields *effects*;
+the engine interprets each effect, advances the global clock, and
+resumes the generator with the effect's result.  Three effects exist:
+
+``Compute(cycles)``
+    Burn CPU time.  The thread resumes ``cycles`` later.  Any interrupt
+    cycles stolen from the thread's core (e.g. by TLB-shootdown IPIs)
+    are added on top, which is how remote-core interference appears in
+    measured throughput.
+
+``Block()``
+    Suspend until another thread wakes this one via ``Wake``.  Used by
+    the lock implementations.
+
+``Wake(thread, delay=0.0, value=None)``
+    Schedule ``thread`` (which must be blocked) to resume ``delay``
+    cycles from now; its ``Block()`` yield returns ``value``.
+
+``Spawn(generator, core=..., name=..., daemon=...)``
+    Create and start a new simulated thread; returns the
+    :class:`SimThread`.
+
+The engine is deliberately sequential and deterministic: ties are
+broken by a monotone sequence number, so a given workload always
+produces the same schedule and the same measured cycle counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+KernelGen = Generator[Any, Any, Any]
+
+
+class Compute:
+    """Effect: consume ``cycles`` of CPU time on the thread's core."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: float):
+        if cycles < 0:
+            raise SimulationError(f"negative compute time: {cycles}")
+        self.cycles = cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Compute({self.cycles:.0f})"
+
+
+class Block:
+    """Effect: suspend the thread until a matching :class:`Wake`."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "Block()"
+
+
+class Wake:
+    """Effect: resume a blocked thread ``delay`` cycles from now."""
+
+    __slots__ = ("thread", "delay", "value")
+
+    def __init__(self, thread: "SimThread", delay: float = 0.0,
+                 value: Any = None):
+        self.thread = thread
+        self.delay = delay
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Wake({self.thread.name}, delay={self.delay})"
+
+
+class Spawn:
+    """Effect: start a new simulated thread; yields the SimThread."""
+
+    __slots__ = ("gen", "core", "name", "daemon")
+
+    def __init__(self, gen: KernelGen, core: Optional[int] = None,
+                 name: str = "", daemon: bool = False):
+        self.gen = gen
+        self.core = core
+        self.name = name
+        self.daemon = daemon
+
+
+class Core:
+    """A CPU core: tracks the stolen-cycle debt charged by interrupts."""
+
+    __slots__ = ("index", "stolen_cycles", "total_interrupts")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.stolen_cycles = 0.0
+        self.total_interrupts = 0
+
+    def interrupt(self, cycles: float) -> None:
+        """Charge an interrupt handler to whatever runs here next."""
+        self.stolen_cycles += cycles
+        self.total_interrupts += 1
+
+    def drain_stolen(self, compute_cycles: float = float("inf")) -> float:
+        """Absorb pending interrupt debt, proportionally to the
+        computation being charged.
+
+        Interrupts arrive at random points in real time, so a long
+        computation absorbs its full share while a short critical
+        section is only stretched modestly — without this bound, debt
+        would pile onto whatever tiny lock-held compute runs next and
+        manufacture convoys that do not exist on real hardware.
+        """
+        limit = compute_cycles + 1000.0
+        cycles = min(self.stolen_cycles, limit)
+        self.stolen_cycles -= cycles
+        return cycles
+
+
+class SimThread:
+    """A simulated thread: a generator plus scheduling state."""
+
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+    def __init__(self, engine: "Engine", gen: KernelGen, core: Core,
+                 name: str, daemon: bool):
+        self.engine = engine
+        self.gen = gen
+        self.core = core
+        self.name = name
+        self.daemon = daemon
+        self.state = SimThread.RUNNABLE
+        self.started_at = engine.now
+        self.finished_at: Optional[float] = None
+        self.result: Any = None
+        self._wake_value: Any = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state == SimThread.FINISHED
+
+    @property
+    def runtime(self) -> float:
+        """Cycles between start and finish (finish required)."""
+        if self.finished_at is None:
+            raise SimulationError(f"thread {self.name} still running")
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimThread {self.name} {self.state} core={self.core.index}>"
+
+
+class Engine:
+    """Deterministic discrete-event executor for simulated threads."""
+
+    def __init__(self, num_cores: int = 16):
+        self.now = 0.0
+        self.cores = [Core(i) for i in range(num_cores)]
+        self._heap: list = []
+        self._seq = itertools.count()
+        self.threads: list[SimThread] = []
+        #: The thread currently being stepped (valid inside kernel code).
+        self.current: Optional[SimThread] = None
+        self._live_foreground = 0
+        self._next_core = 0
+        self.events_processed = 0
+
+    # -- thread management ------------------------------------------------
+    def spawn(self, gen: KernelGen, core: Optional[int] = None,
+              name: str = "", daemon: bool = False) -> SimThread:
+        """Register a generator as a new runnable thread."""
+        if core is None:
+            core = self._next_core % len(self.cores)
+            self._next_core += 1
+        if not 0 <= core < len(self.cores):
+            raise SimulationError(f"core {core} out of range")
+        thread = SimThread(self, gen, self.cores[core],
+                           name or f"thread-{len(self.threads)}", daemon)
+        self.threads.append(thread)
+        if not daemon:
+            self._live_foreground += 1
+        self._schedule(thread, 0.0)
+        return thread
+
+    def _schedule(self, thread: SimThread, delay: float) -> None:
+        heapq.heappush(self._heap,
+                       (self.now + delay, next(self._seq), thread))
+
+    # -- effect interpretation --------------------------------------------
+    def _step(self, thread: SimThread) -> None:
+        """Resume a thread once and interpret the effect it yields."""
+        self.current = thread
+        try:
+            effect = thread.gen.send(thread._wake_value)
+        except StopIteration as stop:
+            thread.state = SimThread.FINISHED
+            thread.finished_at = self.now
+            thread.result = stop.value
+            if not thread.daemon:
+                self._live_foreground -= 1
+            return
+        thread._wake_value = None
+
+        if isinstance(effect, Compute):
+            cycles = effect.cycles + thread.core.drain_stolen(effect.cycles)
+            self._schedule(thread, cycles)
+        elif isinstance(effect, Block):
+            thread.state = SimThread.BLOCKED
+        elif isinstance(effect, Wake):
+            target = effect.thread
+            if target.state != SimThread.BLOCKED:
+                raise SimulationError(
+                    f"Wake({target.name}): thread is {target.state}")
+            target.state = SimThread.RUNNABLE
+            target._wake_value = effect.value
+            self._schedule(target, effect.delay)
+            thread._wake_value = None
+            self._schedule(thread, 0.0)
+        elif isinstance(effect, Spawn):
+            child = self.spawn(effect.gen, core=effect.core,
+                               name=effect.name, daemon=effect.daemon)
+            thread._wake_value = child
+            self._schedule(thread, 0.0)
+        else:
+            raise SimulationError(f"unknown effect {effect!r} "
+                                  f"from thread {thread.name}")
+
+    # -- main loop ---------------------------------------------------------
+    def run(self, max_events: Optional[int] = None) -> float:
+        """Run until all foreground threads finish; returns final time.
+
+        Daemon threads (e.g. the DaxVM pre-zeroing kthread) do not keep
+        the simulation alive: once every foreground thread has
+        finished, remaining events are discarded.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        while self._heap and self._live_foreground > 0:
+            if self.events_processed >= budget:
+                raise SimulationError(
+                    f"event budget {max_events} exhausted at t={self.now}")
+            when, _seq, thread = heapq.heappop(self._heap)
+            if thread.state == SimThread.FINISHED:
+                continue
+            if thread.state == SimThread.BLOCKED:
+                # A stale event for a thread that blocked after this
+                # event was queued; the wake will reschedule it.
+                continue
+            self.now = when
+            self.events_processed += 1
+            self._step(thread)
+        if self._live_foreground > 0:
+            blocked = [t.name for t in self.threads
+                       if t.state == SimThread.BLOCKED and not t.daemon]
+            raise DeadlockError(
+                f"{self._live_foreground} foreground thread(s) blocked "
+                f"forever: {blocked}")
+        return self.now
+
+    # -- helpers for cross-core interference -------------------------------
+    def interrupt_cores(self, core_indices: Iterable[int],
+                        cycles: float) -> int:
+        """Charge an interrupt handler to each listed core; returns count."""
+        count = 0
+        for idx in core_indices:
+            self.cores[idx].interrupt(cycles)
+            count += 1
+        return count
+
+    def seconds(self, cycles: Optional[float] = None,
+                freq_hz: float = 2.7e9) -> float:
+        """Convert cycles (default: current time) to seconds."""
+        value = self.now if cycles is None else cycles
+        return value / freq_hz

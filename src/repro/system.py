@@ -1,0 +1,173 @@
+"""`System` — one simulated machine: engine, memory, FS, processes.
+
+This is the package's main entry point.  A ``System`` owns the
+discrete-event engine, physical memory, the (optionally aged) PMem
+block device and a file system; ``new_process()`` creates an
+``mm_struct`` per process and ``daxvm_for()`` equips a process with
+the DaxVM interface (sharing one FS-wide file-table manager).
+
+Typical use::
+
+    sys = System(fs_type="ext4", aged=True)
+    proc = sys.new_process()
+    dax = sys.daxvm_for(proc)
+
+    def worker():
+        f = yield from sys.fs.open("/data", create=True)
+        yield from sys.fs.write(f, 0, 1 << 20)
+        vma = yield from dax.mmap(f.inode)
+        yield from proc.mm.access(vma, 0, 1 << 20)
+        yield from dax.munmap(vma)
+        yield from sys.fs.close(f)
+
+    sys.spawn(worker(), core=0)
+    sys.run()
+    print(sys.seconds(), "simulated seconds")
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import DEFAULT_COSTS, CostModel
+from repro.core.filetable import FileTableManager
+from repro.core.interface import DaxVM
+from repro.errors import InvalidArgumentError
+from repro.fs.aging import AgingProfile, aged_device
+from repro.fs.block import BlockDevice
+from repro.fs.ext4 import Ext4Dax
+from repro.fs.nova import Nova
+from repro.fs.xfs import XfsDax
+from repro.fs.vfs import VFS
+from repro.mem.latency import MemoryModel, SharedBandwidth
+from repro.mem.physmem import PhysicalMemory
+from repro.sim.engine import Engine, KernelGen, SimThread
+from repro.sim.stats import Stats
+from repro.vm.mm import MMStruct
+
+_FS_TYPES = {"ext4": Ext4Dax, "nova": Nova, "xfs": XfsDax}
+
+
+class Process:
+    """A simulated process: an mm_struct and (optionally) DaxVM."""
+
+    def __init__(self, system: "System", mm: MMStruct, name: str):
+        self.system = system
+        self.mm = mm
+        self.name = name
+        self.daxvm: Optional[DaxVM] = None
+
+
+class System:
+    """One simulated single-socket machine."""
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS,
+                 num_cores: Optional[int] = None,
+                 device_bytes: int = 8 << 30,
+                 fs_type: str = "ext4",
+                 aged: bool = False,
+                 aging_profile: AgingProfile = AgingProfile()):
+        self.costs = costs
+        cores = num_cores or costs.machine.num_cores
+        self.engine = Engine(cores)
+        self.stats = Stats()
+        self.physmem = PhysicalMemory(costs.machine.dram_bytes,
+                                      costs.machine.pmem_bytes)
+        self.mem = MemoryModel(costs)
+        self.mem.shared = SharedBandwidth(costs.pmem_total_read_bw,
+                                          costs.pmem_total_write_bw,
+                                          costs.machine.freq_hz)
+        if aged:
+            self.device = aged_device(device_bytes, aging_profile,
+                                      base_frame=self.physmem.pmem.base_frame)
+        else:
+            self.device = BlockDevice(device_bytes,
+                                      base_frame=self.physmem.pmem.base_frame)
+        self.vfs = VFS()
+        fs_cls = _FS_TYPES.get(fs_type)
+        if fs_cls is None:
+            raise InvalidArgumentError(
+                f"unknown fs_type {fs_type!r}; use one of {set(_FS_TYPES)}")
+        self.fs = fs_cls(self.device, self.vfs, costs, self.mem, self.stats)
+        self.fs.engine = self.engine
+        self._filetables: Optional[FileTableManager] = None
+        self._process_count = 0
+
+    # -- processes -----------------------------------------------------------
+    def new_process(self, name: str = "", aslr_seed: int = 0) -> Process:
+        self._process_count += 1
+        pname = name or f"proc{self._process_count}"
+        mm = MMStruct(self.engine, self.costs, self.physmem, self.mem,
+                      self.stats, aslr_seed=aslr_seed, name=pname)
+        return Process(self, mm, pname)
+
+    @property
+    def filetables(self) -> FileTableManager:
+        """The FS-wide file-table manager (created on first use)."""
+        if self._filetables is None:
+            self._filetables = FileTableManager(
+                self.fs, self.physmem, self.costs, self.stats)
+        return self._filetables
+
+    def daxvm_for(self, process: Process, enable_prezero: bool = True,
+                  batch_pages: Optional[int] = None,
+                  start_prezero_thread: bool = False) -> DaxVM:
+        """Equip a process with the DaxVM interface."""
+        dax = DaxVM(self.engine, process.mm, self.fs, self.physmem,
+                    self.mem, self.costs, self.stats,
+                    filetables=self.filetables,
+                    enable_prezero=enable_prezero,
+                    batch_pages=batch_pages)
+        if enable_prezero and start_prezero_thread:
+            dax.prezero.start(core=self.engine.cores[-1].index)
+        process.daxvm = dax
+        return dax
+
+    # -- execution -----------------------------------------------------------
+    def spawn(self, gen: KernelGen, core: Optional[int] = None,
+              name: str = "", process: Optional[Process] = None,
+              daemon: bool = False) -> SimThread:
+        """Start a simulated thread (registering its core in the
+        process cpumask when one is given)."""
+        thread = self.engine.spawn(gen, core=core, name=name, daemon=daemon)
+        if process is not None:
+            process.mm.register_thread(thread.core.index)
+        return thread
+
+    def run(self, max_events: Optional[int] = None) -> float:
+        return self.engine.run(max_events=max_events)
+
+    # -- power cycling -----------------------------------------------------
+    def power_cycle(self, crash: bool = False, seed: int = 0):
+        """Reboot the machine: volatile state dies, storage persists.
+
+        A fresh engine replaces the old one (all processes and kernel
+        threads are gone); the inode cache is dropped, which destroys
+        volatile file tables; persistent file tables and every block
+        on the device survive.  With ``crash=True`` the power failure
+        tears the unfenced tail of recent persistent-table updates
+        (within the journal discipline's window) and a mount-time
+        recovery pass replays them — returns the RecoveryReport.
+        """
+        from repro.core.recovery import RecoveryLog, simulate_crash
+
+        report = None
+        if crash:
+            simulate_crash(self.vfs, seed=seed)
+        else:
+            self.vfs.inode_cache.evict_all()
+        self.engine = Engine(len(self.engine.cores))
+        self.fs.engine = self.engine
+        self.mem.shared = SharedBandwidth(self.costs.pmem_total_read_bw,
+                                          self.costs.pmem_total_write_bw,
+                                          self.costs.machine.freq_hz)
+        self.mem.interference = 1.0
+        self.fs.free_interceptor = None
+        self.fs.free_barriers.clear()
+        if self._filetables is not None:
+            report = RecoveryLog(self.vfs, self._filetables).recover_all()
+        return report
+
+    def seconds(self, cycles: Optional[float] = None) -> float:
+        value = self.engine.now if cycles is None else cycles
+        return value / self.costs.machine.freq_hz

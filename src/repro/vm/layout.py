@@ -1,0 +1,58 @@
+"""Virtual address space layout: finding and recycling free areas.
+
+The baseline allocator mimics Linux's ``get_unmapped_area``: a
+top-down-ish search over the mmap region with optional alignment, plus
+deterministic ASLR at 2 MB granularity (DaxVM attaches file tables at
+2 MB-aligned addresses, so randomisation survives — §IV-A2).  Freed
+areas are recycled from per-size buckets, which is how long-running
+servers keep their address spaces compact.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.errors import AddressSpaceError
+
+PAGE_SIZE = 4096
+PMD_SIZE = 2 << 20
+
+#: Bottom of the simulated mmap region.
+MMAP_BASE = 0x7F00_0000_0000
+#: Exclusive top of the usable region.
+MMAP_TOP = 0x7FFF_F000_0000
+
+
+class AddressSpaceLayout:
+    """Allocate/free virtual ranges for one process."""
+
+    def __init__(self, aslr_seed: int = 0):
+        rng = random.Random(aslr_seed)
+        #: ASLR slide: whole 2 MB steps, preserving PMD alignment.
+        self._cursor = MMAP_BASE + rng.randrange(0, 1 << 12) * PMD_SIZE
+        self._free_buckets: Dict[int, List[int]] = defaultdict(list)
+        self.allocated_bytes = 0
+        self.peak_bytes = 0
+
+    def allocate(self, size: int, align: int = PAGE_SIZE) -> int:
+        """Return the start of a free range of ``size`` bytes."""
+        if size <= 0 or size % PAGE_SIZE:
+            raise AddressSpaceError(f"bad allocation size {size:#x}")
+        key = (size, align)
+        bucket = self._free_buckets.get(key)
+        if bucket:
+            addr = bucket.pop()
+        else:
+            addr = -(-self._cursor // align) * align
+            if addr + size > MMAP_TOP:
+                raise AddressSpaceError("virtual address space exhausted")
+            self._cursor = addr + size
+        self.allocated_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)
+        return addr
+
+    def free(self, addr: int, size: int, align: int = PAGE_SIZE) -> None:
+        self._free_buckets[(size, align)].append(addr)
+        self.allocated_bytes -= size

@@ -1,0 +1,552 @@
+"""``MMStruct`` — the simulated Linux memory manager for one process.
+
+This is the baseline whose inherent costs §III of the paper dissects:
+
+* one global ``mmap_sem`` reader/writer semaphore serialising every
+  address-space operation (writers: mmap/munmap; readers: faults);
+* a red-black tree recording every VMA;
+* demand paging — each first touch of a page takes a fault that
+  installs a PTE (or a PMD leaf when extent geometry allows);
+* software dirty tracking — shared writable file pages start
+  write-protected; the first store takes a permission fault that tags
+  the page-cache tree (plus, under MAP_SYNC on ext4, a synchronous
+  journal commit);
+* synchronous munmap with IPI TLB shootdowns to every core running
+  the process.
+
+DaxVM (in :mod:`repro.core`) subclasses none of this; it *composes*
+with it, replacing exactly the pieces the paper replaces and leaving
+the rest (the semaphore, the VMA tree for non-ephemeral mappings, the
+shootdown controller) shared — which is what lets the benchmarks turn
+individual optimisations on and off (Fig. 8a's incremental bars).
+
+Cost-fidelity note: operations touching few pages are simulated as
+true per-page events through the semaphore (preserving lock contention
+across threads); bulk operations over many pages aggregate their
+per-page costs into one event under a single semaphore hold, which is
+exact for the single-threaded large-file workloads that use them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+from repro.config import CostModel
+from repro.errors import InvalidArgumentError, NotSupportedError
+from repro.fs.base import FileSystem
+from repro.fs.vfs import Inode
+from repro.mem.latency import MemoryModel
+from repro.mem.physmem import Medium, PhysicalMemory
+from repro.paging.pagetable import PMD_LEVEL, PageTable
+from repro.paging.flags import PageFlags
+from repro.paging.tlb import AccessPattern, ShootdownController, TLBModel
+from repro.paging.walker import PageWalker
+from repro.sim.engine import Compute, Engine
+from repro.sim.locks import RWSemaphore
+from repro.sim.stats import Stats
+from repro.vm.dirty import DirtyTracker
+from repro.vm.layout import AddressSpaceLayout
+from repro.vm.rbtree import RBTree
+from repro.vm.vma import PAGE_SIZE, VMA, MapFlags, Protection
+
+PMD_SIZE = 2 << 20
+PAGES_PER_PMD = PMD_SIZE // PAGE_SIZE
+#: Above this many pending faults, aggregate them into one bulk event.
+BULK_FAULT_THRESHOLD = 64
+
+
+class MMStruct:
+    """One process's memory manager."""
+
+    def __init__(self, engine: Engine, costs: CostModel,
+                 physmem: PhysicalMemory, mem: MemoryModel, stats: Stats,
+                 aslr_seed: int = 0, name: str = "mm"):
+        self.engine = engine
+        self.costs = costs
+        self.physmem = physmem
+        self.mem = mem
+        self.stats = stats
+        self.name = name
+        self.page_table = PageTable(physmem, Medium.DRAM)
+        self.mmap_sem = RWSemaphore(engine, costs, f"{name}.mmap_sem")
+        self.vmas = RBTree()
+        self.layout = AddressSpaceLayout(aslr_seed)
+        self.page_cache = DirtyTracker()
+        self.walker = PageWalker(costs)
+        self.tlb = TLBModel(costs, costs.machine)
+        self.shootdowns = ShootdownController(engine, costs, stats)
+        #: Cores currently running this process's threads (cpumask).
+        self.active_cores: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Thread registration (cpumask maintenance).
+    # ------------------------------------------------------------------
+    def register_thread(self, core_index: int) -> None:
+        self.active_cores.add(core_index)
+
+    def _initiator_core(self) -> int:
+        current = self.engine.current
+        return current.core.index if current is not None else 0
+
+    # ------------------------------------------------------------------
+    # VMA lookup.
+    # ------------------------------------------------------------------
+    def find_vma(self, addr: int) -> Optional[VMA]:
+        hit = self.vmas.floor(addr)
+        if hit is None:
+            return None
+        vma = hit[1]
+        return vma if vma.contains(addr) else None
+
+    # ------------------------------------------------------------------
+    # mmap / munmap.
+    # ------------------------------------------------------------------
+    def mmap(self, fs: FileSystem, inode: Inode, offset: int, length: int,
+             prot: Protection, flags: MapFlags):
+        """Map ``length`` bytes of a file; returns the VMA."""
+        if length <= 0:
+            raise InvalidArgumentError("mmap length must be positive")
+        length = -(-length // PAGE_SIZE) * PAGE_SIZE
+        yield Compute(self.costs.syscall_crossing)
+        yield from self.mmap_sem.acquire_write()
+        yield Compute(self.costs.vma_alloc)
+        start = self.layout.allocate(length)
+        vma = VMA(start, start + length, inode, offset, prot, flags)
+        vma.fs = fs
+        self.vmas.insert(start, vma)
+        inode.i_mmap.append(vma)
+        yield from self.mmap_sem.release_write()
+        if flags & MapFlags.POPULATE:
+            # mm_populate runs after the map is installed, holding the
+            # semaphore only as a reader (as Linux does).
+            yield from self.mmap_sem.acquire_read()
+            yield from self._populate_locked(
+                vma, 0, vma.num_pages, write=bool(prot & Protection.WRITE))
+            yield from self.mmap_sem.release_read()
+        self.stats.add("vm.mmap_calls")
+        return vma
+
+    def munmap(self, vma: VMA):
+        """Synchronously unmap a VMA (the POSIX-faithful path)."""
+        yield Compute(self.costs.syscall_crossing)
+        yield from self.mmap_sem.acquire_write()
+        yield from self._teardown_locked(vma)
+        yield from self.mmap_sem.release_write()
+        self.stats.add("vm.munmap_calls")
+
+    def _teardown_locked(self, vma: VMA, flush: bool = True):
+        """Clear translations, flush TLBs, drop the VMA (sem held)."""
+        pages = self.page_table.clear_range(vma.start, vma.length)
+        teardown = pages * self.costs.pte_teardown
+        teardown += len(vma.attachments) * self.costs.pmd_attach
+        yield Compute(teardown + self.costs.vma_free)
+        if flush and pages + len(vma.attachments) > 0:
+            flush_pages = pages + len(vma.attachments) * PAGES_PER_PMD
+            yield from self.shootdowns.flush(
+                self._initiator_core(), self.active_cores, flush_pages)
+        self._drop_vma(vma)
+
+    def _drop_vma(self, vma: VMA) -> None:
+        self.vmas.delete(vma.start)
+        if vma.inode is not None and vma in vma.inode.i_mmap:
+            vma.inode.i_mmap.remove(vma)
+        self.layout.free(vma.start, vma.length)
+        vma.populated.clear()
+        vma.writable.clear()
+        vma.huge_regions.clear()
+
+    # ------------------------------------------------------------------
+    # Demand paging.
+    # ------------------------------------------------------------------
+    def _page_state(self, vma: VMA, page: int) -> bool:
+        """Is this VMA-relative page populated?"""
+        return (vma.fully_populated
+                or page // PAGES_PER_PMD in vma.huge_regions
+                or page in vma.populated)
+
+    def _install_page(self, vma: VMA, page: int,
+                      writable: bool) -> Tuple[float, bool]:
+        """Install translation(s) for one page; returns (cycles, huge).
+
+        Prefers a PMD huge leaf when the extent geometry and alignment
+        allow covering the whole 2 MB region.
+        """
+        fs: FileSystem = vma.fs
+        file_page = vma.file_page(page)
+        region = page // PAGES_PER_PMD
+        vaddr_region = vma.start + region * PMD_SIZE
+        flags = PageFlags.rw() if writable else PageFlags.ro()
+
+        region_first_page = region * PAGES_PER_PMD
+        file_region_page = vma.file_page(region_first_page)
+        can_huge = (
+            vaddr_region % PMD_SIZE == 0
+            and vaddr_region + PMD_SIZE <= vma.end
+            and file_region_page % PAGES_PER_PMD == 0
+            and fs.pmd_capable(vma.inode, file_region_page)
+            and not any(p in vma.populated
+                        for p in range(region_first_page,
+                                       region_first_page + PAGES_PER_PMD)))
+        lookup = fs.fault_lookup_cost(vma.inode)
+        if can_huge:
+            frame = fs.frame_for_page(vma.inode, file_region_page)
+            self.page_table.map_page(vaddr_region, frame, flags, PMD_LEVEL)
+            vma.huge_regions.add(region)
+            self.stats.add("vm.huge_faults")
+            return self.costs.fault_dax_pmd + lookup, True
+        frame = fs.frame_for_page(vma.inode, file_page)
+        if frame is None:
+            raise InvalidArgumentError(
+                f"{vma.inode.path}: fault beyond allocated blocks "
+                f"(file page {file_page})")
+        self.page_table.map_page(vma.start + page * PAGE_SIZE, frame, flags)
+        vma.populated.add(page)
+        self.stats.add("vm.pte_faults")
+        return self.costs.fault_dax_pte + lookup, False
+
+    def fault(self, vma: VMA, page: int, write: bool):
+        """One demand fault, fully simulated through the semaphore."""
+        yield Compute(self.costs.fault_entry)
+        yield from self.mmap_sem.acquire_read()
+        cost = 0.0
+        if not self._page_state(vma, page):
+            install, _huge = self._install_page(
+                vma, page, writable=not vma.tracks_dirty)
+            cost += install
+        if write and vma.tracks_dirty:
+            cost += yield from self._dirty_fault_locked(vma, page)
+        yield Compute(cost)
+        yield from self.mmap_sem.release_read()
+        self.stats.add("vm.faults")
+
+    def _dirty_fault_locked(self, vma: VMA, page: int):
+        """Write-protect fault: tag page cache, maybe commit metadata."""
+        granule = vma.dirty_granule or PAGE_SIZE
+        gindex = (vma.file_offset + page * PAGE_SIZE) // granule
+        track_key = gindex
+        if track_key in vma.writable:
+            return 0.0
+        vma.writable.add(track_key)
+        self.page_cache.mark(vma.inode, gindex)
+        cost = self.costs.dirty_track_per_page
+        self.stats.add("vm.dirty_faults")
+        if vma.flags & MapFlags.SYNC:
+            fs: FileSystem = vma.fs
+            yield from fs.mapsync_fault()
+        return cost
+
+    def _populate_locked(self, vma: VMA, first_page: int, npages: int,
+                         write: bool):
+        """Bulk PTE installation under one semaphore hold.
+
+        Used by MAP_POPULATE and by bulk demand faulting; charges the
+        per-page fault body (no trap entry for populate).  Returns the
+        number of install events (huge installs cover 512 pages each),
+        so demand-fault callers can charge one trap per event.
+        """
+        cost = 0.0
+        installs = 0
+        page = first_page
+        end = first_page + npages
+        while page < end:
+            if self._page_state(vma, page):
+                page += 1
+                continue
+            install, huge = self._install_page(
+                vma, page, writable=write and not vma.tracks_dirty)
+            cost += install
+            installs += 1
+            page += PAGES_PER_PMD - page % PAGES_PER_PMD if huge else 1
+        yield Compute(cost)
+        return installs
+
+    # ------------------------------------------------------------------
+    # The data access path used by every workload.
+    # ------------------------------------------------------------------
+    def access(self, vma: VMA, offset: int, length: int, *,
+               write: bool = False,
+               pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+               ops: Optional[int] = None,
+               data_cached: bool = False,
+               ntstore: bool = True,
+               copy: bool = False,
+               touch_bytes: Optional[int] = None):
+        """Access ``[offset, offset+length)`` of a mapping.
+
+        Performs demand faulting for unpopulated pages, write-protect
+        (dirty-tracking) faults for tracked writable mappings, charges
+        the data movement itself, and charges TLB miss costs.
+
+        ``ops`` — for RANDOM pattern: the number of random operations
+        of size ``length`` issued within the VMA window starting at
+        ``offset`` (default 1 sequential pass).  ``touch_bytes`` lets a
+        caller touch less data than the faulted window (e.g. a 1 KB
+        write into a 4 KB page).  ``copy=True`` models memcpy between
+        the mapping and a DRAM buffer (the database access idiom of
+        Figs. 1c/5) instead of in-place scanning; with ``write=True``
+        and ``ntstore=False`` the stores stay in the cache and
+        durability is deferred to a later sync.
+        """
+        if length <= 0:
+            raise InvalidArgumentError("access length must be positive")
+        first_page = offset // PAGE_SIZE
+        last_page = (offset + length - 1) // PAGE_SIZE
+        npages = last_page - first_page + 1
+
+        # -- demand faults ------------------------------------------------
+        if vma.fully_populated:
+            missing = []
+        else:
+            missing = [p for p in range(first_page, last_page + 1)
+                       if not self._page_state(vma, p)]
+        if missing:
+            if len(missing) <= BULK_FAULT_THRESHOLD:
+                for page in missing:
+                    yield from self.fault(vma, page, write=False)
+            else:
+                yield from self.mmap_sem.acquire_read()
+                installs = yield from self._populate_locked(
+                    vma, first_page, npages, write=False)
+                yield from self.mmap_sem.release_read()
+                yield Compute(self.costs.fault_entry * installs)
+                self.stats.add("vm.faults", installs)
+
+        # -- dirty-tracking write faults -----------------------------------
+        if write and vma.tracks_dirty:
+            yield from self._write_track(vma, first_page, last_page)
+            self.page_cache.add_bytes(
+                vma.inode, (touch_bytes or length) * (ops or 1))
+        elif write:
+            self.stats.add("vm.untracked_writes")
+
+        # -- data movement ---------------------------------------------------
+        nbytes = touch_bytes if touch_bytes is not None else length
+        num_ops = ops or 1
+        if write and copy:
+            data = self.mem.memcpy(nbytes, Medium.DRAM, Medium.PMEM,
+                                   ntstore=ntstore) * num_ops
+        elif write:
+            data = self.mem.stream_write(nbytes, Medium.PMEM,
+                                         ntstore=ntstore) * num_ops
+        elif copy:
+            data = self.mem.memcpy(nbytes, Medium.PMEM, Medium.DRAM)
+            if pattern is AccessPattern.RANDOM:
+                data += self.mem.load_latency(Medium.PMEM)
+            data *= num_ops
+        elif pattern is AccessPattern.RANDOM:
+            data = (self.mem.load_latency(Medium.PMEM)
+                    + self.mem.stream_read(nbytes, Medium.PMEM,
+                                           cached=data_cached)) * num_ops
+        else:
+            data = self.mem.stream_read(nbytes, Medium.PMEM,
+                                        cached=data_cached) * num_ops
+
+        # -- device bandwidth contention ------------------------------------
+        total_bytes = nbytes * num_ops
+        if not data_cached:
+            wait = self.mem.device_delay(
+                0 if write else total_bytes,
+                total_bytes if write else 0, self.engine.now)
+            data = max(data, wait)
+
+        # -- TLB misses --------------------------------------------------------
+        tlb_cost = self._tlb_cost(vma, first_page, npages, pattern,
+                                  num_ops, nbytes)
+        yield Compute(data + tlb_cost)
+        self.stats.add("vm.access_bytes", nbytes * num_ops)
+
+    def _write_track(self, vma: VMA, first_page: int, last_page: int):
+        """Take write-protect faults for untracked granules in range."""
+        granule = vma.dirty_granule or PAGE_SIZE
+        pages_per_granule = max(1, granule // PAGE_SIZE)
+        granules = sorted({
+            (vma.file_offset + p * PAGE_SIZE) // granule
+            for p in range(first_page, last_page + 1)})
+        pending = [g for g in granules if g not in vma.writable]
+        if not pending:
+            return
+        if len(pending) <= BULK_FAULT_THRESHOLD:
+            for gindex in pending:
+                page = (gindex * granule - vma.file_offset) // PAGE_SIZE
+                page = max(first_page, page)
+                yield Compute(self.costs.fault_entry)
+                yield from self.mmap_sem.acquire_read()
+                cost = yield from self._dirty_fault_locked(vma, page)
+                yield Compute(cost)
+                yield from self.mmap_sem.release_read()
+                self.stats.add("vm.faults")
+        else:
+            yield from self.mmap_sem.acquire_read()
+            cost = len(pending) * (self.costs.fault_entry
+                                   + self.costs.dirty_track_per_page)
+            for gindex in pending:
+                vma.writable.add(gindex)
+                self.page_cache.mark(vma.inode, gindex)
+            self.stats.add("vm.dirty_faults", len(pending))
+            self.stats.add("vm.faults", len(pending))
+            if vma.flags & MapFlags.SYNC:
+                fs: FileSystem = vma.fs
+                if fs.mapsync_needs_commit:
+                    cost += len(pending) * self.costs.journal_commit
+                    fs.stats.add("journal.sync_commits", len(pending))
+            yield Compute(cost)
+            yield from self.mmap_sem.release_read()
+        _ = pages_per_granule  # granule arithmetic documented above
+
+    def _tlb_cost(self, vma: VMA, first_page: int, npages: int,
+                  pattern: AccessPattern, num_ops: int,
+                  op_bytes: int) -> float:
+        """TLB miss cycles for an access window."""
+        leaf_medium = getattr(vma, "leaf_medium", Medium.DRAM)
+        # Split the window into huge-covered and 4 KB-covered pages.
+        huge_pages = sum(
+            1 for p in range(first_page, first_page + npages)
+            if p // PAGES_PER_PMD in vma.huge_regions)
+        small_pages = npages - huge_pages
+        huge_fraction = huge_pages / npages if npages else 0.0
+
+        if pattern is AccessPattern.SEQUENTIAL and num_ops == 1:
+            misses_small = small_pages
+            misses_huge = max(1, huge_pages // PAGES_PER_PMD) if huge_pages else 0
+        else:
+            footprint = npages * PAGE_SIZE
+            total = self.tlb.random_op_misses(num_ops, op_bytes,
+                                              PAGE_SIZE, footprint)
+            misses_small = total * (1 - huge_fraction)
+            hfoot = huge_pages * PAGE_SIZE
+            misses_huge = (self.tlb.random_op_misses(
+                int(num_ops * huge_fraction) or 0, op_bytes, PMD_SIZE, hfoot)
+                if huge_fraction else 0)
+        walk_small = self.walker.walk_cost(pattern, leaf_medium)
+        cost = misses_small * walk_small + misses_huge * self.costs.walk_huge
+        self.stats.add("vm.tlb_misses", misses_small + misses_huge)
+        self.stats.add("vm.walk_cycles", cost)
+        return cost
+
+    # ------------------------------------------------------------------
+    # Sync operations.
+    # ------------------------------------------------------------------
+    def msync(self, vma: VMA):
+        """Flush the mapping's dirty granules and restart tracking."""
+        yield Compute(self.costs.syscall_crossing)
+        if vma.flags & MapFlags.NO_MSYNC:
+            # DaxVM nosync mode: msync is a no-op (§IV-D).
+            self.stats.add("vm.msync_noop")
+            return
+        granule = vma.dirty_granule or PAGE_SIZE
+        written = self.page_cache.written_bytes(vma.inode)
+        dirty = self.page_cache.collect(vma.inode)
+        # Every line of a dirty granule must be swept with clwb, but
+        # only lines actually written generate write-back traffic.
+        swept_lines = len(dirty) * granule / 64
+        writeback = min(written, len(dirty) * granule)
+        flush_cost = (swept_lines * self.costs.clwb_issue_per_line
+                      + self.mem.clwb_flush(int(writeback)))
+        # Write-protect again for every process mapping the file.
+        reprotect = 0.0
+        protected_pages = 0
+        for mapping in vma.inode.i_mmap:
+            protected_pages += len(mapping.writable) * (
+                (mapping.dirty_granule or PAGE_SIZE) // PAGE_SIZE)
+            reprotect += len(mapping.writable) * self.costs.pte_teardown
+            mapping.writable.clear()
+        yield Compute(flush_cost + reprotect)
+        if protected_pages:
+            yield from self.shootdowns.flush(
+                self._initiator_core(), self.active_cores, protected_pages)
+        self.stats.add("vm.msync_calls")
+        self.stats.add("vm.msync_flushed", len(dirty))
+
+    # ------------------------------------------------------------------
+    # Other POSIX memory operations (baseline supports them fully).
+    # ------------------------------------------------------------------
+    def mprotect(self, vma: VMA, offset: int, length: int,
+                 prot: Protection):
+        if vma.is_ephemeral:
+            raise NotSupportedError("mprotect on an ephemeral mapping")
+        yield Compute(self.costs.syscall_crossing)
+        yield from self.mmap_sem.acquire_write()
+        first = offset // PAGE_SIZE
+        npages = -(-length // PAGE_SIZE)
+        flags = (PageFlags.rw() if prot & Protection.WRITE
+                 else PageFlags.ro())
+        changed = self.page_table.protect_range(
+            vma.start + first * PAGE_SIZE, npages * PAGE_SIZE, flags)
+        yield Compute(changed * self.costs.pte_teardown
+                      + self.costs.vma_alloc)
+        vma.prot = prot
+        yield from self.shootdowns.flush(
+            self._initiator_core(), self.active_cores, max(changed, 1))
+        yield from self.mmap_sem.release_write()
+        self.stats.add("vm.mprotect_calls")
+
+    def fork(self, child: "MMStruct"):
+        """Duplicate this address space into ``child`` (fork()).
+
+        Holds the semaphore as a writer (Table IV, set D) and copies
+        every VMA plus its installed translations.  Shared file
+        mappings stay shared (both mm's PTEs point at the same PMem
+        frames); DaxVM attachments are *not* duplicated — a forked
+        child re-establishes them with daxvm_mmap, which is O(1)
+        anyway (and is what the paper's multi-process servers do).
+        """
+        yield Compute(self.costs.syscall_crossing)
+        yield from self.mmap_sem.acquire_write()
+        copy_cost = 0.0
+        for start, vma in list(self.vmas.items()):
+            if vma.is_ephemeral or vma.attachments:
+                continue
+            clone = VMA(vma.start, vma.end, vma.inode, vma.file_offset,
+                        vma.prot, vma.flags)
+            clone.fs = vma.fs
+            clone.dirty_granule = vma.dirty_granule
+            clone.leaf_medium = vma.leaf_medium
+            child.vmas.insert(start, clone)
+            child.layout.allocated_bytes += clone.length
+            if vma.inode is not None:
+                vma.inode.i_mmap.append(clone)
+            copy_cost += self.costs.vma_alloc
+            # Copy installed translations (write-protected in both
+            # address spaces so dirty tracking restarts cleanly).
+            fs: FileSystem = vma.fs
+            for page in vma.populated:
+                frame = fs.frame_for_page(vma.inode, vma.file_page(page))
+                child.page_table.map_page(
+                    vma.start + page * PAGE_SIZE, frame, PageFlags.ro())
+                clone.populated.add(page)
+                copy_cost += self.costs.pte_teardown
+            for region in vma.huge_regions:
+                frame = fs.frame_for_page(
+                    vma.inode, vma.file_page(region * PAGES_PER_PMD))
+                child.page_table.map_page(
+                    vma.start + region * PMD_SIZE, frame,
+                    PageFlags.ro(), PMD_LEVEL)
+                clone.huge_regions.add(region)
+                copy_cost += self.costs.pte_teardown
+            vma.writable.clear()
+        yield Compute(copy_cost)
+        yield from self.mmap_sem.release_write()
+        self.stats.add("vm.forks")
+        return child
+
+    def mremap(self, vma: VMA, new_length: int):
+        """Grow/shrink a mapping in place (whole-mapping resize)."""
+        if vma.is_ephemeral:
+            raise NotSupportedError("mremap on an ephemeral mapping")
+        new_length = -(-new_length // PAGE_SIZE) * PAGE_SIZE
+        yield Compute(self.costs.syscall_crossing)
+        yield from self.mmap_sem.acquire_write()
+        yield Compute(self.costs.vma_alloc)
+        if new_length < vma.length:
+            drop_start = vma.start + new_length
+            pages = self.page_table.clear_range(
+                drop_start, vma.length - new_length)
+            yield Compute(pages * self.costs.pte_teardown)
+            if pages:
+                yield from self.shootdowns.flush(
+                    self._initiator_core(), self.active_cores, pages)
+            vma.populated = {p for p in vma.populated
+                             if p < new_length // PAGE_SIZE}
+        vma.end = vma.start + new_length
+        yield from self.mmap_sem.release_write()
+        self.stats.add("vm.mremap_calls")

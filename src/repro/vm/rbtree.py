@@ -1,0 +1,337 @@
+"""A from-scratch red-black tree keyed by integer (VMA start address).
+
+Linux records every VMA of a process in ``mm->mm_rb``; the paper's
+§III-A2 observes that this centralised, finely-locked structure is what
+ephemeral mappings pay for without needing.  The tree here is a real
+red-black implementation (insert, delete, floor search, in-order
+iteration) so that the VMA bookkeeping the baseline performs — and the
+bookkeeping DaxVM's ephemeral heap *avoids* — is genuine work, and so
+the property-based tests can check the classic RB invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "parent", "color")
+
+    def __init__(self, key: int, value: Any, parent: Optional["_Node"]):
+        self.key = key
+        self.value = value
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.parent = parent
+        self.color = RED
+
+
+class RBTree:
+    """Map from int keys to values with ordered queries."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self._find(key) is not None
+
+    # -- search --------------------------------------------------------------
+    def _find(self, key: int) -> Optional[_Node]:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    def get(self, key: int) -> Optional[Any]:
+        node = self._find(key)
+        return None if node is None else node.value
+
+    def floor(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Largest (key, value) with key <= the argument."""
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not None:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return None if best is None else (best.key, best.value)
+
+    def ceiling(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Smallest (key, value) with key >= the argument."""
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not None:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key > key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return None if best is None else (best.key, best.value)
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """In-order iteration."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield (node.key, node.value)
+            node = node.right
+
+    def min(self) -> Optional[Tuple[int, Any]]:
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return (node.key, node.value)
+
+    # -- insertion -----------------------------------------------------------
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or replace."""
+        parent = None
+        node = self._root
+        while node is not None:
+            parent = node
+            if key == node.key:
+                node.value = value
+                return
+            node = node.left if key < node.key else node.right
+        new = _Node(key, value, parent)
+        if parent is None:
+            self._root = new
+        elif key < parent.key:
+            parent.left = new
+        else:
+            parent.right = new
+        self._size += 1
+        self._fix_insert(new)
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        assert y is not None
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        assert y is not None
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _fix_insert(self, node: _Node) -> None:
+        while node.parent is not None and node.parent.color is RED:
+            parent = node.parent
+            grand = parent.parent
+            assert grand is not None
+            if parent is grand.left:
+                uncle = grand.right
+                if uncle is not None and uncle.color is RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    node = grand
+                else:
+                    if node is parent.right:
+                        node = parent
+                        self._rotate_left(node)
+                        parent = node.parent
+                        assert parent is not None
+                    parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                if uncle is not None and uncle.color is RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    node = grand
+                else:
+                    if node is parent.left:
+                        node = parent
+                        self._rotate_right(node)
+                        parent = node.parent
+                        assert parent is not None
+                    parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_left(grand)
+        assert self._root is not None
+        self._root.color = BLACK
+
+    # -- deletion ------------------------------------------------------------
+    def delete(self, key: int) -> bool:
+        """Remove a key; returns False if absent."""
+        node = self._find(key)
+        if node is None:
+            return False
+        self._size -= 1
+        self._delete_node(node)
+        return True
+
+    def _transplant(self, u: _Node, v: Optional[_Node]) -> None:
+        if u.parent is None:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        if v is not None:
+            v.parent = u.parent
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not None:
+            node = node.left
+        return node
+
+    def _delete_node(self, z: _Node) -> None:
+        y = z
+        y_color = y.color
+        if z.left is None:
+            x, xp = z.right, z.parent
+            self._transplant(z, z.right)
+        elif z.right is None:
+            x, xp = z.left, z.parent
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_color = y.color
+            x = y.right
+            if y.parent is z:
+                xp = y
+            else:
+                xp = y.parent
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_color is BLACK:
+            self._fix_delete(x, xp)
+
+    def _fix_delete(self, x: Optional[_Node],
+                    parent: Optional[_Node]) -> None:
+        while x is not self._root and (x is None or x.color is BLACK):
+            if parent is None:
+                break
+            if x is parent.left:
+                sib = parent.right
+                if sib is not None and sib.color is RED:
+                    sib.color = BLACK
+                    parent.color = RED
+                    self._rotate_left(parent)
+                    sib = parent.right
+                if sib is None:
+                    x, parent = parent, parent.parent
+                    continue
+                sl_black = sib.left is None or sib.left.color is BLACK
+                sr_black = sib.right is None or sib.right.color is BLACK
+                if sl_black and sr_black:
+                    sib.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if sr_black:
+                        if sib.left is not None:
+                            sib.left.color = BLACK
+                        sib.color = RED
+                        self._rotate_right(sib)
+                        sib = parent.right
+                    assert sib is not None
+                    sib.color = parent.color
+                    parent.color = BLACK
+                    if sib.right is not None:
+                        sib.right.color = BLACK
+                    self._rotate_left(parent)
+                    x = self._root
+                    parent = None
+            else:
+                sib = parent.left
+                if sib is not None and sib.color is RED:
+                    sib.color = BLACK
+                    parent.color = RED
+                    self._rotate_right(parent)
+                    sib = parent.left
+                if sib is None:
+                    x, parent = parent, parent.parent
+                    continue
+                sl_black = sib.left is None or sib.left.color is BLACK
+                sr_black = sib.right is None or sib.right.color is BLACK
+                if sl_black and sr_black:
+                    sib.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if sl_black:
+                        if sib.right is not None:
+                            sib.right.color = BLACK
+                        sib.color = RED
+                        self._rotate_left(sib)
+                        sib = parent.left
+                    assert sib is not None
+                    sib.color = parent.color
+                    parent.color = BLACK
+                    if sib.left is not None:
+                        sib.left.color = BLACK
+                    self._rotate_right(parent)
+                    x = self._root
+                    parent = None
+        if x is not None:
+            x.color = BLACK
+
+    # -- validation (for property tests) -------------------------------------
+    def check_invariants(self) -> int:
+        """Assert RB invariants; returns the black height."""
+        assert self._root is None or self._root.color is BLACK
+
+        def _check(node: Optional[_Node], lo: float, hi: float) -> int:
+            if node is None:
+                return 1
+            assert lo < node.key < hi, "BST order violated"
+            if node.color is RED:
+                for child in (node.left, node.right):
+                    assert child is None or child.color is BLACK, \
+                        "red node with red child"
+            left_bh = _check(node.left, lo, node.key)
+            right_bh = _check(node.right, node.key, hi)
+            assert left_bh == right_bh, "unequal black heights"
+            return left_bh + (1 if node.color is BLACK else 0)
+
+        return _check(self._root, float("-inf"), float("inf"))

@@ -1,0 +1,51 @@
+"""Workloads: the paper's microbenchmarks and application models."""
+
+from repro.workloads.appendbench import AppendConfig, AppendVariant, run_append
+from repro.workloads.apache import ApacheConfig, ServerInterface, run_apache
+from repro.workloads.common import DaxVMOptions, Interface, Measurement
+from repro.workloads.ephemeral import EphemeralConfig, run_ephemeral
+from repro.workloads.filegen import (
+    create_file_set,
+    create_files,
+    drop_caches,
+    linux_tree_sizes,
+)
+from repro.workloads.kvstore import KVConfig, PmemKVStore
+from repro.workloads.predis import PRedisConfig, PRedisResult, run_predis
+from repro.workloads.repetitive import RepetitiveConfig, run_repetitive
+from repro.workloads.syncbench import SyncConfig, SyncDiscipline, run_sync
+from repro.workloads.textsearch import TextSearchConfig, run_textsearch
+from repro.workloads.ycsb import WORKLOAD_MIXES, YCSBConfig, run_ycsb
+
+__all__ = [
+    "ApacheConfig",
+    "AppendConfig",
+    "AppendVariant",
+    "DaxVMOptions",
+    "EphemeralConfig",
+    "Interface",
+    "KVConfig",
+    "Measurement",
+    "PRedisConfig",
+    "PRedisResult",
+    "PmemKVStore",
+    "RepetitiveConfig",
+    "ServerInterface",
+    "SyncConfig",
+    "SyncDiscipline",
+    "TextSearchConfig",
+    "WORKLOAD_MIXES",
+    "YCSBConfig",
+    "create_file_set",
+    "create_files",
+    "drop_caches",
+    "linux_tree_sizes",
+    "run_apache",
+    "run_append",
+    "run_ephemeral",
+    "run_predis",
+    "run_repetitive",
+    "run_sync",
+    "run_textsearch",
+    "run_ycsb",
+]

@@ -1,0 +1,113 @@
+"""Shared workload vocabulary: interfaces, DaxVM options, measurement.
+
+Every evaluation figure compares some subset of:
+
+* ``READ``/``WRITE`` system-call file access,
+* default ``MMAP`` (lazy demand faulting),
+* ``MMAP_POPULATE`` (MAP_POPULATE pre-faulting), and
+* ``DAXVM`` with a configuration of its optional flags —
+  Fig. 8a's incremental bars are just different
+  :class:`DaxVMOptions` settings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.results import RunResult
+from repro.system import System
+from repro.vm.vma import MapFlags
+
+
+class Interface(enum.Enum):
+    """How a workload reaches file data."""
+
+    READ = "read"
+    MMAP = "mmap"
+    MMAP_POPULATE = "populate"
+    DAXVM = "daxvm"
+
+
+@dataclass(frozen=True)
+class DaxVMOptions:
+    """Which optional DaxVM mechanisms a mapping uses.
+
+    The defaults are the full paper configuration; Fig. 8a's
+    incremental study turns them on one at a time.
+    """
+
+    #: MAP_EPHEMERAL: allocate from the ephemeral heap.
+    ephemeral: bool = True
+    #: MAP_UNMAP_ASYNC: defer and batch unmapping.
+    unmap_async: bool = True
+    #: MAP_SYNC: synchronous-metadata DAX semantics for writes.
+    sync: bool = True
+    #: MAP_NO_MSYNC (requires sync): drop kernel dirty tracking.
+    nosync: bool = False
+
+    def flags(self, write: bool = False) -> MapFlags:
+        flags = MapFlags.SHARED
+        if self.ephemeral:
+            flags |= MapFlags.EPHEMERAL
+        if self.unmap_async:
+            flags |= MapFlags.UNMAP_ASYNC
+        if write and self.sync:
+            flags |= MapFlags.SYNC
+        if write and self.nosync:
+            flags |= MapFlags.SYNC | MapFlags.NO_MSYNC
+        return flags
+
+    @staticmethod
+    def filetables_only() -> "DaxVMOptions":
+        """O(1) mmap alone (Fig. 8a first DaxVM bar)."""
+        return DaxVMOptions(ephemeral=False, unmap_async=False)
+
+    @staticmethod
+    def with_ephemeral() -> "DaxVMOptions":
+        return DaxVMOptions(ephemeral=True, unmap_async=False)
+
+    @staticmethod
+    def full() -> "DaxVMOptions":
+        return DaxVMOptions(ephemeral=True, unmap_async=True)
+
+    @staticmethod
+    def full_nosync() -> "DaxVMOptions":
+        return DaxVMOptions(ephemeral=True, unmap_async=True, nosync=True)
+
+
+class Measurement:
+    """Delta-based measurement of a phase of simulated execution."""
+
+    def __init__(self, system: System):
+        self.system = system
+        self._t0 = 0.0
+        self._snap: Dict[str, float] = {}
+
+    def start(self) -> None:
+        self._t0 = self.system.engine.now
+        self._snap = self.system.stats.snapshot()
+
+    def finish(self, label: str, operations: float,
+               bytes_processed: float = 0.0) -> RunResult:
+        now = self.system.engine.now
+        counters = {}
+        for key, value in self.system.stats.snapshot().items():
+            delta = value - self._snap.get(key, 0.0)
+            if delta:
+                counters[key] = delta
+        return RunResult(
+            label=label,
+            cycles=now - self._t0,
+            operations=operations,
+            bytes_processed=bytes_processed,
+            counters=counters,
+            freq_hz=self.system.costs.machine.freq_hz,
+        )
+
+
+def spread(total: int, shards: int) -> list:
+    """Split ``total`` items into ``shards`` nearly equal counts."""
+    base, extra = divmod(total, shards)
+    return [base + (1 if i < extra else 0) for i in range(shards)]

@@ -1,0 +1,78 @@
+"""Workload file-set creation and cache manipulation.
+
+File creation runs through the real FS paths (so extents, file tables
+and fragmentation are genuine), inside the simulation engine; callers
+measure their own phase with :class:`~repro.workloads.common.Measurement`
+so setup time never pollutes results.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from repro.fs.vfs import Inode
+from repro.system import System
+
+#: Writes go through the FS in chunks (a creation-time convenience that
+#: also mirrors how real file copies behave).
+_CHUNK = 4 << 20
+
+
+def create_files(system: System, sizes: Sequence[int],
+                 prefix: str = "/data") -> List[Inode]:
+    """Create one file per size entry; returns their inodes.
+
+    Runs inside the engine so allocation, journaling and (DaxVM)
+    file-table construction all happen through the simulated paths.
+    """
+    inodes: List[Inode] = []
+
+    def creator():
+        for i, size in enumerate(sizes):
+            f = yield from system.fs.open(f"{prefix}/f{i:06d}", create=True)
+            written = 0
+            while written < size:
+                chunk = min(_CHUNK, size - written)
+                yield from system.fs.write(f, written, chunk)
+                written += chunk
+            yield from system.fs.close(f)
+            inodes.append(f.inode)
+
+    system.spawn(creator(), core=0, name="filegen")
+    system.run()
+    return inodes
+
+
+def create_file_set(system: System, count: int, size: int,
+                    prefix: str = "/data") -> List[Inode]:
+    """``count`` files of identical ``size``."""
+    return create_files(system, [size] * count, prefix=prefix)
+
+
+def linux_tree_sizes(count: int = 2000, seed: int = 7,
+                     total_bytes: Optional[int] = None) -> List[int]:
+    """File sizes resembling the Linux source tree (§V-C text search).
+
+    Mostly small source files (median ~6 KB, lognormal) plus a few
+    large git-versioning files, optionally scaled to a byte budget.
+    """
+    rng = random.Random(seed)
+    sizes = [max(512, min(int(rng.lognormvariate(math.log(6144), 1.1)),
+                          512 << 10))
+             for _ in range(count)]
+    # A handful of larger files (git packs) — kept to a modest share
+    # of total bytes, as in the real tree.
+    for _ in range(max(1, count // 500)):
+        sizes.append(rng.randrange(2 << 20, 8 << 20))
+    if total_bytes is not None:
+        scale = total_bytes / sum(sizes)
+        sizes = [max(512, int(s * scale)) for s in sizes]
+    return sizes
+
+
+def drop_caches(system: System) -> None:
+    """Evict every cached inode (so the next opens are cold), like
+    ``echo 2 > /proc/sys/vm/drop_caches``."""
+    system.vfs.inode_cache.evict_all()

@@ -1,0 +1,114 @@
+"""YCSB driver over the Pmem-RocksDB-like store (paper Fig. 9c).
+
+Standard YCSB mixes: Load phases are pure inserts; A = 50/50
+read/update, B = 95/5, C = read-only, D = 95/5 read/insert (latest),
+E = 95/5 scan/insert, F = 50/50 read/read-modify-write.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.analysis.results import RunResult
+from repro.system import System
+from repro.workloads.common import DaxVMOptions, Interface, Measurement
+from repro.workloads.kvstore import KVConfig, PmemKVStore
+
+#: (read, update, insert, scan, rmw) fractions per workload.
+WORKLOAD_MIXES: Dict[str, Tuple[float, float, float, float, float]] = {
+    "load_a": (0.0, 0.0, 1.0, 0.0, 0.0),
+    "load_e": (0.0, 0.0, 1.0, 0.0, 0.0),
+    "run_a": (0.5, 0.5, 0.0, 0.0, 0.0),
+    "run_b": (0.95, 0.05, 0.0, 0.0, 0.0),
+    "run_c": (1.0, 0.0, 0.0, 0.0, 0.0),
+    "run_d": (0.95, 0.0, 0.05, 0.0, 0.0),
+    "run_e": (0.0, 0.0, 0.05, 0.95, 0.0),
+    "run_f": (0.5, 0.0, 0.0, 0.0, 0.5),
+}
+
+
+@dataclass
+class YCSBConfig:
+    workload: str = "load_a"
+    num_ops: int = 20000
+    #: Records preloaded before a run_* phase (not measured).
+    preload_records: int = 20000
+    kv: KVConfig = field(default_factory=KVConfig)
+    #: Pre-zero all free space before the measured phase (the Fig. 9c
+    #: "pre-zero in advance" DaxVM configuration).
+    prezero: bool = False
+    #: DaxVM MMU-monitor tick interval in ops (0 = off).
+    monitor_every: int = 4000
+    seed: int = 11
+
+
+def _op_stream(cfg: YCSBConfig):
+    mix = WORKLOAD_MIXES[cfg.workload]
+    rng = random.Random(cfg.seed)
+    names = ("read", "update", "insert", "scan", "rmw")
+    for _ in range(cfg.num_ops):
+        x = rng.random()
+        acc = 0.0
+        for name, frac in zip(names, mix):
+            acc += frac
+            if x < acc:
+                yield name
+                break
+        else:
+            yield "read"
+
+
+def _driver(store: PmemKVStore, cfg: YCSBConfig):
+    yield from store.start()
+    if cfg.workload.startswith("run_") and cfg.preload_records:
+        for _ in range(cfg.preload_records):
+            yield from store.put()
+
+
+def _measured(store: PmemKVStore, cfg: YCSBConfig):
+    daxvm = store.process.daxvm
+    for i, op in enumerate(_op_stream(cfg)):
+        if op == "read":
+            yield from store.get()
+        elif op in ("update", "insert"):
+            yield from store.put()
+        elif op == "scan":
+            yield from store.scan()
+        else:
+            yield from store.read_modify_write()
+        if (daxvm is not None and cfg.monitor_every
+                and (i + 1) % cfg.monitor_every == 0):
+            vmas = [vma for _f, vma in store.sstables]
+            if store.wal is not None:
+                vmas.append(store.wal[1])
+            yield from daxvm.monitor_check(vmas)
+
+
+def run_ycsb(system: System, cfg: YCSBConfig) -> RunResult:
+    """Preload (unmeasured), then run the workload phase."""
+    if cfg.workload not in WORKLOAD_MIXES:
+        raise ValueError(f"unknown YCSB workload {cfg.workload!r}")
+    process = system.new_process(f"ycsb-{cfg.workload}")
+    if cfg.kv.interface is Interface.DAXVM and process.daxvm is None:
+        dax = system.daxvm_for(process)
+        if cfg.prezero:
+            dax.prezero.prezero_all_free()
+    store = PmemKVStore(system, process, cfg.kv)
+    system.spawn(_driver(store, cfg), core=0, name="ycsb-preload",
+                 process=process)
+    system.run()
+
+    measure = Measurement(system)
+    measure.start()
+    system.spawn(_measured(store, cfg), core=0, name="ycsb-run",
+                 process=process)
+    system.run()
+    label = f"{cfg.workload}/{cfg.kv.interface.value}"
+    return measure.finish(label, operations=cfg.num_ops,
+                          bytes_processed=cfg.num_ops
+                          * cfg.kv.record_size)
+
+
+__all__ = ["WORKLOAD_MIXES", "YCSBConfig", "run_ycsb"]

@@ -1,0 +1,70 @@
+"""LATR baseline tests."""
+
+from repro.baselines.latr import LatrUnmapper
+from repro.vm.vma import MapFlags, Protection
+
+
+def run(system, gen, core=0):
+    thread = system.spawn(gen, core=core)
+    system.run()
+    return thread.result
+
+
+def make_file(system, size, path="/f"):
+    def flow():
+        f = yield from system.fs.open(path, create=True)
+        yield from system.fs.write(f, 0, size)
+        return f.inode
+
+    return run(system, flow())
+
+
+def test_latr_unmap_posts_messages_instead_of_ipis(system):
+    inode = make_file(system, 32 << 10)
+    proc = system.new_process()
+    proc.mm.register_thread(0)
+    proc.mm.register_thread(1)
+    latr = LatrUnmapper(system.engine, proc.mm, system.costs,
+                        system.stats)
+
+    def flow():
+        vma = yield from proc.mm.mmap(system.fs, inode, 0, 32 << 10,
+                                      Protection.READ, MapFlags.SHARED)
+        yield from proc.mm.access(vma, 0, 32 << 10)
+        yield from latr.munmap(vma)
+
+    run(system, flow())
+    assert system.stats.get("latr.lazy_invalidations") == 1
+    assert system.stats.get("tlb.ipis") == 0  # no synchronous IPIs
+    assert proc.mm.find_vma(0x7F0000000000) is None
+    # The remote core still pays a (deferred) apply cost.
+    assert system.engine.cores[1].stolen_cycles > 0
+
+
+def test_latr_cheaper_than_sync_unmap_single_run(system):
+    inode = make_file(system, 32 << 10)
+
+    def cost(use_latr):
+        proc = system.new_process()
+        for c in range(4):
+            proc.mm.register_thread(c)
+        latr = LatrUnmapper(system.engine, proc.mm, system.costs,
+                            system.stats)
+
+        def flow():
+            vma = yield from proc.mm.mmap(system.fs, inode, 0, 32 << 10,
+                                          Protection.READ,
+                                          MapFlags.SHARED)
+            yield from proc.mm.access(vma, 0, 32 << 10)
+            t0 = system.engine.now
+            if use_latr:
+                yield from latr.munmap(vma)
+            else:
+                yield from proc.mm.munmap(vma)
+            return system.engine.now - t0
+
+        return run(system, flow())
+
+    sync = cost(False)
+    lazy = cost(True)
+    assert lazy < sync

@@ -1,0 +1,44 @@
+"""CLI tests (compact experiment registry)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_prints_registry(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["ephemeral"])
+    assert args.ops == 400
+    assert args.media == "optane"
+    assert not args.fresh
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonsense"])
+
+
+def test_ephemeral_experiment_runs(capsys):
+    assert main(["ephemeral", "--ops", "40", "--device", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "daxvm" in out
+    assert "us/file" in out
+
+
+def test_media_experiment_runs(capsys):
+    assert main(["media", "--ops", "30", "--device", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "cxl-flash" in out
+    assert "fast-nvm" in out
+
+
+def test_predis_experiment_runs(capsys):
+    assert main(["predis", "--ops", "2000", "--device", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "boot=" in out

@@ -1,0 +1,216 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Block, Compute, Engine, Spawn, Wake
+
+
+def test_compute_advances_clock():
+    engine = Engine(2)
+
+    def worker():
+        yield Compute(100)
+        yield Compute(50)
+        return "done"
+
+    thread = engine.spawn(worker())
+    final = engine.run()
+    assert final == 150
+    assert thread.result == "done"
+    assert thread.finished
+    assert thread.runtime == 150
+
+
+def test_zero_compute_is_allowed():
+    engine = Engine(1)
+
+    def worker():
+        yield Compute(0)
+
+    engine.spawn(worker())
+    assert engine.run() == 0
+
+
+def test_negative_compute_rejected():
+    with pytest.raises(SimulationError):
+        Compute(-1)
+
+
+def test_threads_interleave_by_time():
+    engine = Engine(2)
+    order = []
+
+    def worker(name, step):
+        for _ in range(3):
+            yield Compute(step)
+            order.append((name, engine.now))
+
+    engine.spawn(worker("fast", 10), core=0)
+    engine.spawn(worker("slow", 25), core=1)
+    engine.run()
+    assert order == [("fast", 10), ("fast", 20), ("slow", 25),
+                     ("fast", 30), ("slow", 50), ("slow", 75)]
+
+
+def test_block_and_wake():
+    engine = Engine(2)
+    events = []
+
+    def sleeper():
+        value = yield Block()
+        events.append(("woke", engine.now, value))
+
+    def waker(target):
+        yield Compute(500)
+        yield Wake(target, delay=20, value="hello")
+        events.append(("waker-done", engine.now))
+
+    t1 = engine.spawn(sleeper())
+    engine.spawn(waker(t1))
+    engine.run()
+    assert ("woke", 520, "hello") in events
+
+
+def test_wake_non_blocked_thread_fails():
+    engine = Engine(2)
+
+    def runner():
+        yield Compute(10)
+        yield Compute(10)
+
+    def bad_waker(target):
+        yield Wake(target)
+
+    target = engine.spawn(runner())
+    engine.spawn(bad_waker(target))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_spawn_effect_returns_child():
+    engine = Engine(2)
+    seen = {}
+
+    def child():
+        yield Compute(5)
+        return 42
+
+    def parent():
+        handle = yield Spawn(child(), name="kid")
+        seen["child"] = handle
+        yield Compute(1)
+
+    engine.spawn(parent())
+    engine.run()
+    assert seen["child"].result == 42
+
+
+def test_deadlock_detection():
+    engine = Engine(1)
+
+    def stuck():
+        yield Block()
+
+    engine.spawn(stuck())
+    with pytest.raises(DeadlockError):
+        engine.run()
+
+
+def test_daemon_does_not_keep_engine_alive():
+    engine = Engine(2)
+    ticks = []
+
+    def daemon():
+        while True:
+            yield Compute(10)
+            ticks.append(engine.now)
+
+    def fg():
+        yield Compute(35)
+
+    engine.spawn(daemon(), daemon=True)
+    engine.spawn(fg())
+    engine.run()
+    assert engine.now == 35
+    assert len(ticks) <= 4
+
+
+def test_interrupt_steals_cycles():
+    engine = Engine(2)
+
+    def victim():
+        yield Compute(100)
+        yield Compute(100)
+
+    thread = engine.spawn(victim(), core=1)
+    engine.interrupt_cores([1], 40)
+    engine.run()
+    # First compute absorbs the 40-cycle interrupt.
+    assert thread.finished_at == 240
+
+
+def test_interrupt_debt_absorption_is_bounded():
+    engine = Engine(2)
+    times = []
+
+    def victim():
+        for _ in range(40):
+            yield Compute(10)
+            times.append(engine.now)
+
+    engine.spawn(victim(), core=0)
+    engine.cores[0].interrupt(50_000)
+    engine.run()
+    # A tiny compute must not absorb the entire 50k debt at once.
+    assert times[0] <= 10 + (10 + 1000)
+    # But the debt is eventually paid in full.
+    assert times[-1] == pytest.approx(400 + 40 * 0 + 50_000, rel=0.3)
+
+
+def test_determinism():
+    def build():
+        engine = Engine(4)
+
+        def worker(i):
+            for _ in range(5):
+                yield Compute(7 * (i + 1))
+
+        for i in range(4):
+            engine.spawn(worker(i), core=i)
+        return engine.run()
+
+    assert build() == build()
+
+
+def test_event_budget():
+    engine = Engine(1)
+
+    def spin():
+        while True:
+            yield Compute(1)
+
+    engine.spawn(spin())
+    with pytest.raises(SimulationError):
+        engine.run(max_events=100)
+
+
+def test_core_out_of_range():
+    engine = Engine(2)
+
+    def worker():
+        yield Compute(1)
+
+    with pytest.raises(SimulationError):
+        engine.spawn(worker(), core=7)
+
+
+def test_seconds_conversion():
+    engine = Engine(1)
+
+    def worker():
+        yield Compute(2.7e9)
+
+    engine.spawn(worker())
+    engine.run()
+    assert engine.seconds() == pytest.approx(1.0)

@@ -1,0 +1,180 @@
+"""File-table tests: construction, policy, lifecycle, migration."""
+
+import pytest
+
+from repro.fs.block import BLOCK_SIZE
+from repro.mem.physmem import Medium
+
+PAGE = 4096
+
+
+def run(system, gen):
+    thread = system.spawn(gen, core=0)
+    system.run()
+    return thread.result
+
+
+def make_file(system, size, path="/f"):
+    def flow():
+        f = yield from system.fs.open(path, create=True)
+        yield from system.fs.write(f, 0, size)
+        yield from system.fs.close(f)
+        return f.inode
+
+    return run(system, flow())
+
+
+def test_small_files_get_volatile_tables(system):
+    manager = system.filetables  # registers hooks
+    inode = make_file(system, 16 << 10)
+    table = manager.table_for(inode)
+    assert table is not None
+    assert table.medium is Medium.DRAM
+    assert inode.persistent_file_table is None
+    assert table.filled_pages == 4
+
+
+def test_large_files_get_persistent_tables(system):
+    manager = system.filetables
+    inode = make_file(system, 1 << 20)
+    table = manager.table_for(inode)
+    assert table.medium is Medium.PMEM
+    assert inode.volatile_file_table is None
+    assert table.filled_pages == 256
+
+
+def test_growth_across_policy_line_upgrades(system):
+    manager = system.filetables
+
+    def flow():
+        f = yield from system.fs.open("/grow", create=True)
+        yield from system.fs.write(f, 0, 16 << 10)   # volatile
+        assert f.inode.volatile_file_table is not None
+        yield from system.fs.write(f, 16 << 10, 48 << 10)  # crosses 32K
+        return f.inode
+
+    inode = run(system, flow())
+    assert inode.volatile_file_table is None
+    assert inode.persistent_file_table is not None
+    assert inode.persistent_file_table.filled_pages == 16
+
+
+def test_volatile_table_destroyed_on_eviction_and_rebuilt(system):
+    manager = system.filetables
+    inode = make_file(system, 16 << 10)
+    system.vfs.inode_cache.evict_all()
+    assert inode.volatile_file_table is None
+
+    def reopen():
+        f = yield from system.fs.open("/f")
+        yield from system.fs.close(f)
+
+    run(system, reopen())
+    assert inode.volatile_file_table is not None
+    assert system.stats.get("daxvm.volatile_rebuilds") == 1
+
+
+def test_persistent_table_survives_eviction(system):
+    manager = system.filetables
+    inode = make_file(system, 1 << 20)
+    system.vfs.inode_cache.evict_all()
+    assert inode.persistent_file_table is not None
+    assert manager.table_for(inode).filled_pages == 256
+
+
+def test_persistent_tables_consume_pmem_metadata_blocks(system):
+    manager = system.filetables
+    before = system.device.free_blocks
+    inode = make_file(system, 2 << 20)
+    used = before - system.device.free_blocks
+    # 512 data blocks + at least one table node (huge-capable regions
+    # may collapse the PTE level, but PMD nodes still exist).
+    assert used >= 512 + 1
+    assert inode.persistent_file_table.storage_bytes >= BLOCK_SIZE
+
+
+def test_huge_capable_regions_use_pmd_leaves(system):
+    manager = system.filetables
+    inode = make_file(system, 4 << 20)
+    table = manager.table_for(inode)
+    assert len(table.huge_frames) == 2
+    assert not table.pte_nodes  # fully huge on a fresh image
+    assert table.region_entry(0)[0] == "huge"
+
+
+def test_fragmented_file_mixes_huge_and_pte_regions(aged_system):
+    manager = aged_system.filetables
+
+    def flow():
+        f = yield from aged_system.fs.open("/big", create=True)
+        yield from aged_system.fs.write(f, 0, 32 << 20)
+        return f.inode
+
+    inode = run(aged_system, flow())
+    table = manager.table_for(inode)
+    assert table.pte_nodes  # some regions are 4K-mapped
+    assert table.filled_pages == 32 << 20 >> 12
+
+
+def test_truncate_shrinks_table(system):
+    manager = system.filetables
+    inode = make_file(system, 1 << 20)
+
+    def flow():
+        f = yield from system.fs.open("/f")
+        yield from system.fs.truncate(f, 16 << 10)
+
+    run(system, flow())
+    table = manager.table_for(inode)
+    assert table.filled_pages == 4
+
+
+def test_unlink_drops_table_nodes(system):
+    manager = system.filetables
+    make_file(system, 1 << 20)
+    before = system.device.free_blocks
+
+    def flow():
+        yield from system.fs.unlink("/f")
+
+    run(system, flow())
+    # Data blocks and table metadata blocks all return.
+    assert system.device.free_blocks > before
+
+
+def test_migration_builds_volatile_copy(system):
+    manager = system.filetables
+    inode = make_file(system, 1 << 20)
+    cycles = manager.migrate_to_dram(inode)
+    assert cycles > 0
+    assert inode.volatile_file_table is not None
+    assert inode.volatile_file_table.medium is Medium.DRAM
+    # Both tables are maintained after migration (§IV-A1).
+    assert inode.persistent_file_table is not None
+    # mmap prefers the volatile copy.
+    assert manager.table_for(inode).medium is Medium.DRAM
+    # Idempotent.
+    assert manager.migrate_to_dram(inode) == 0.0
+
+
+def test_persistent_build_costs_more_than_volatile(system):
+    """§V-B: persistent tables pay cache-line flushes on construction."""
+    manager = system.filetables
+    system.fs.allow_huge = False
+    small = make_file(system, 16 << 10, path="/v")   # volatile
+    big = make_file(system, 1 << 20, path="/p")       # persistent
+    vol = manager.table_for(small)
+    per = manager.table_for(big)
+    assert vol.medium is Medium.DRAM
+    assert per.medium is Medium.PMEM
+    # Persistent construction pays clwb per line on top of PTE fills.
+    assert per.costs.filetable_clwb_line > vol.costs.filetable_pte_fill
+
+
+def test_storage_report(system):
+    manager = system.filetables
+    a = make_file(system, 16 << 10, path="/a")
+    b = make_file(system, 1 << 20, path="/b")
+    report = manager.storage_report([a, b])
+    assert report["dram_bytes"] >= BLOCK_SIZE
+    assert report["pmem_bytes"] >= BLOCK_SIZE

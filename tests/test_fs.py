@@ -1,0 +1,229 @@
+"""File system tests: syscall paths, zeroing policies, ext4 vs NOVA."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError, NoSuchFileError
+from repro.fs.block import BLOCK_SIZE
+from repro.system import System
+
+
+def run(system, gen):
+    thread = system.spawn(gen, core=0)
+    system.run()
+    return thread.result
+
+
+def test_open_create_write_read_close(system):
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        n = yield from system.fs.write(f, 0, 10_000)
+        assert n == 10_000
+        got = yield from system.fs.read(f, 0, 10_000)
+        yield from system.fs.close(f)
+        return got
+
+    assert run(system, flow()) == 10_000
+    inode = system.vfs.lookup("/x")
+    assert inode.size == 10_000
+    assert inode.block_count == 3  # rounded up to blocks
+
+
+def test_read_clamps_to_eof(system):
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.write(f, 0, 1000)
+        got = yield from system.fs.read(f, 500, 10_000)
+        return got
+
+    assert run(system, flow()) == 500
+
+
+def test_open_missing_file_raises(system):
+    def flow():
+        yield from system.fs.open("/nope")
+
+    with pytest.raises(NoSuchFileError):
+        run(system, flow())
+
+
+def test_write_zero_bytes_rejected(system):
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.write(f, 0, 0)
+
+    with pytest.raises(InvalidArgumentError):
+        run(system, flow())
+
+
+def test_fallocate_reserves_without_size_growth_beyond(system):
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.fallocate(f, 1 << 20)
+        return f.inode
+
+    inode = run(system, flow())
+    assert inode.block_count == 256
+    assert inode.size == 1 << 20
+
+
+def test_truncate_frees_blocks(system):
+    before = system.device.free_blocks
+
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.write(f, 0, 1 << 20)
+        yield from system.fs.truncate(f, 4096)
+
+    run(system, flow())
+    assert system.vfs.lookup("/x").block_count == 1
+    assert system.device.free_blocks == before - 1
+
+
+def test_unlink_releases_everything(system):
+    before = system.device.free_blocks
+
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.write(f, 0, 1 << 20)
+        yield from system.fs.close(f)
+        yield from system.fs.unlink("/x")
+
+    run(system, flow())
+    assert "/x" not in system.vfs
+    assert system.device.free_blocks == before
+
+
+def test_ext4_zeroes_on_write_path(system):
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.write(f, 0, 1 << 20)
+
+    run(system, flow())
+    assert system.stats.get("fs.blocks_zeroed_sync") == 256
+
+
+def test_nova_skips_zeroing_on_write_path(nova_system):
+    def flow():
+        f = yield from nova_system.fs.open("/x", create=True)
+        yield from nova_system.fs.write(f, 0, 1 << 20)
+
+    run(nova_system, flow())
+    assert nova_system.stats.get("fs.blocks_zeroed_sync") == 0
+
+
+def test_nova_zeroes_on_fallocate(nova_system):
+    def flow():
+        f = yield from nova_system.fs.open("/x", create=True)
+        yield from nova_system.fs.fallocate(f, 1 << 20)
+
+    run(nova_system, flow())
+    assert nova_system.stats.get("fs.blocks_zeroed_sync") == 256
+
+
+def test_prezeroed_blocks_skip_sync_zeroing(system):
+    # Mark the whole device zeroed, then allocate.
+    for extent in list(system.device._free):
+        system.fs.zeroed.add(extent.start, extent.end)
+
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.fallocate(f, 1 << 20)
+
+    run(system, flow())
+    assert system.stats.get("fs.blocks_zeroed_sync") == 0
+
+
+def test_mapsync_commit_ext4_vs_nova(system, nova_system):
+    def probe(sys_):
+        def flow():
+            yield from sys_.fs.mapsync_fault()
+        t0 = sys_.engine.now
+        run(sys_, flow())
+        return sys_.engine.now - t0
+
+    assert probe(system) >= system.costs.journal_commit
+    assert probe(nova_system) == 0.0
+
+
+def test_fsync_commits_metadata(system):
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.write(f, 0, 4096)
+        yield from system.fs.fsync(f)
+
+    run(system, flow())
+    assert system.stats.get("journal.sync_commits") == 1
+
+
+def test_alloc_hooks_receive_runs_and_charge(system):
+    calls = []
+
+    def hook(inode, runs):
+        calls.append((inode.path, sum(l for _s, l in runs)))
+        return 123.0
+
+    system.fs.alloc_hooks.append(hook)
+
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.write(f, 0, 8192)
+
+    run(system, flow())
+    assert calls == [("/x", 2)]
+    assert system.stats.get("fs.filetable_maintenance_cycles") == 123.0
+
+
+def test_free_barrier_runs_before_blocks_release(system):
+    order = []
+
+    def barrier(inode):
+        order.append("barrier")
+        yield from ()
+
+    system.fs.free_barriers.append(barrier)
+    system.fs.free_hooks.append(
+        lambda inode, freed: order.append("free_hook"))
+
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.write(f, 0, 8192)
+        yield from system.fs.truncate(f, 0)
+
+    run(system, flow())
+    assert order == ["barrier", "free_hook"]
+
+
+def test_free_interceptor_takes_ownership(system):
+    taken = []
+    system.fs.free_interceptor = lambda runs: taken.extend(runs) or True
+    before = system.device.free_blocks
+
+    def flow():
+        f = yield from system.fs.open("/x", create=True)
+        yield from system.fs.write(f, 0, 8192)
+        yield from system.fs.truncate(f, 0)
+
+    run(system, flow())
+    # Blocks did NOT return to the allocator (the interceptor owns them).
+    assert system.device.free_blocks == before - 2
+    assert sum(l for _s, l in taken) == 2
+
+
+def test_fault_lookup_cost_grows_with_extents(system):
+    inode = system.vfs.create("/x")
+    small = system.fs.fault_lookup_cost(inode)
+    for i in range(100):
+        inode.extents.append(i * 10, 1)
+    big = system.fs.fault_lookup_cost(inode)
+    assert big > small * 3
+
+
+def test_fragmented_writes_produce_multiple_extents(aged_system):
+    def flow():
+        f = yield from aged_system.fs.open("/big", create=True)
+        yield from aged_system.fs.write(f, 0, 32 << 20)
+        return f.inode
+
+    inode = run(aged_system, flow())
+    assert len(inode.extents) > 1
+    assert 0.0 <= inode.extents.huge_coverage() < 1.0

@@ -1,0 +1,80 @@
+"""IntervalSet: unit tests plus a hypothesis model check."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.intervals import IntervalSet
+
+
+def test_add_and_total():
+    s = IntervalSet()
+    s.add(0, 10)
+    s.add(20, 30)
+    assert s.total == 20
+    assert len(s) == 2
+
+
+def test_add_merges_overlap_and_adjacency():
+    s = IntervalSet()
+    s.add(0, 10)
+    s.add(5, 15)
+    assert list(s) == [(0, 15)]
+    s.add(15, 20)  # adjacent
+    assert list(s) == [(0, 20)]
+
+
+def test_remove_splits():
+    s = IntervalSet()
+    s.add(0, 100)
+    removed = s.remove(40, 60)
+    assert removed == 20
+    assert list(s) == [(0, 40), (60, 100)]
+
+
+def test_remove_disjoint_is_noop():
+    s = IntervalSet()
+    s.add(0, 10)
+    assert s.remove(50, 60) == 0
+    assert s.total == 10
+
+
+def test_overlap_and_contains():
+    s = IntervalSet()
+    s.add(10, 20)
+    s.add(30, 40)
+    assert s.overlap(0, 100) == 20
+    assert s.overlap(15, 35) == 10
+    assert s.contains(10)
+    assert not s.contains(20)
+
+
+def test_empty_ranges_ignored():
+    s = IntervalSet()
+    s.add(5, 5)
+    assert s.total == 0
+    assert s.remove(3, 3) == 0
+
+
+interval = st.tuples(st.integers(0, 100), st.integers(0, 100)).map(
+    lambda t: (min(t), max(t)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), interval), max_size=120))
+def test_property_matches_set_model(ops):
+    s = IntervalSet()
+    model = set()
+    for add, (lo, hi) in ops:
+        if add:
+            s.add(lo, hi)
+            model.update(range(lo, hi))
+        else:
+            removed = s.remove(lo, hi)
+            gone = {x for x in model if lo <= x < hi}
+            assert removed == len(gone)
+            model -= gone
+        s.check_invariants()
+    assert s.total == len(model)
+    for lo in range(0, 100, 7):
+        assert s.overlap(lo, lo + 13) == len(
+            {x for x in model if lo <= x < lo + 13})

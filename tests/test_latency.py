@@ -1,0 +1,110 @@
+"""Unit tests for the memory cost model and bandwidth throttles."""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS
+from repro.mem.latency import BandwidthThrottle, MemoryModel, SharedBandwidth
+from repro.mem.physmem import Medium
+
+
+@pytest.fixture
+def mem():
+    return MemoryModel(DEFAULT_COSTS)
+
+
+def test_pmem_loads_slower_than_dram(mem):
+    assert mem.load_latency(Medium.PMEM) > mem.load_latency(Medium.DRAM)
+    assert mem.load_latency(Medium.DRAM, cached=True) \
+        < mem.load_latency(Medium.DRAM)
+
+
+def test_stream_read_scales_with_size(mem):
+    small = mem.stream_read(4096, Medium.PMEM)
+    big = mem.stream_read(65536, Medium.PMEM)
+    assert big > small
+    # Streaming is roughly linear beyond the startup cost.
+    assert big / small == pytest.approx(16, rel=0.35)
+
+
+def test_cached_read_is_fastest(mem):
+    n = 1 << 20
+    assert mem.stream_read(n, Medium.DRAM, cached=True) \
+        < mem.stream_read(n, Medium.DRAM) \
+        < mem.stream_read(n, Medium.PMEM)
+
+
+def test_ntstore_beats_clwb_flush(mem):
+    """FAST'20: nt-stores ~double the bandwidth of store+clwb."""
+    n = 1 << 20
+    nt = mem.stream_write(n, Medium.PMEM, ntstore=True)
+    flush = mem.clwb_flush(n)
+    assert flush / nt == pytest.approx(2.0, rel=0.25)
+
+
+def test_cached_stores_defer_durability(mem):
+    """Plain stores complete near DRAM speed; clwb cost comes later."""
+    n = 1 << 20
+    assert mem.stream_write(n, Medium.PMEM, ntstore=False) \
+        < mem.stream_write(n, Medium.PMEM, ntstore=True)
+
+
+def test_kernel_copy_discount(mem):
+    n = 1 << 20
+    user = mem.memcpy(n, Medium.PMEM, Medium.DRAM, kernel=False)
+    kernel = mem.memcpy(n, Medium.PMEM, Medium.DRAM, kernel=True)
+    assert kernel > user
+
+
+def test_memcpy_bandwidth_is_min_of_sides(mem):
+    n = 1 << 20
+    to_pmem = mem.memcpy(n, Medium.DRAM, Medium.PMEM, ntstore=True)
+    to_dram = mem.memcpy(n, Medium.PMEM, Medium.DRAM)
+    # nt-store bandwidth (2.2 GB/s) is the bottleneck writing to PMem.
+    assert to_pmem > to_dram
+
+
+def test_random_read_pays_latency_per_chunk(mem):
+    seq = mem.stream_read(64 << 10, Medium.PMEM)
+    rand = mem.random_read(64 << 10, 4096, Medium.PMEM)
+    assert rand > seq
+
+
+def test_throttle_paces_consumption():
+    throttle = BandwidthThrottle(64e6, 2.7e9)  # 64 MB/s
+    one_chunk = (64 << 20) / 64e6 * 2.7e9  # cycles per 64 MiB chunk
+    first = throttle.delay_for(64 << 20, now=0.0)
+    assert first == pytest.approx(one_chunk, rel=0.01)
+    second = throttle.delay_for(64 << 20, now=0.0)
+    assert second == pytest.approx(2 * one_chunk, rel=0.01)
+
+
+def test_throttle_idle_periods_do_not_accumulate_credit():
+    throttle = BandwidthThrottle(1e9, 1e9)  # 1 B/cycle
+    throttle.delay_for(1000, now=0.0)
+    # Long idle gap, then a transfer: only the transfer time is owed.
+    delay = throttle.delay_for(500, now=1e9)
+    assert delay == pytest.approx(500)
+
+
+def test_throttle_rejects_nonpositive_bandwidth():
+    with pytest.raises(ValueError):
+        BandwidthThrottle(0, 2.7e9)
+
+
+def test_shared_bandwidth_is_invisible_at_low_load():
+    shared = SharedBandwidth(19.8e9, 7.5e9, 2.7e9)
+    # One 4 KB read takes ~0.56 us of device time; a second request a
+    # long time later sees no queueing.
+    assert shared.delay(4096, 0, now=0.0) > 0
+    assert shared.delay(4096, 0, now=1e9) < 1000
+
+
+def test_shared_bandwidth_queues_at_saturation():
+    shared = SharedBandwidth(1e9, 1e9, 1e9)  # 1 B/cycle
+    d1 = shared.delay(1 << 20, 0, now=0.0)
+    d2 = shared.delay(1 << 20, 0, now=0.0)
+    assert d2 > d1  # back-to-back requests queue
+
+
+def test_device_delay_absent_without_wiring(mem):
+    assert mem.device_delay(1 << 20, 0, now=0.0) == 0.0

@@ -1,0 +1,212 @@
+"""Unit tests for simulated locks: mutual exclusion, fairness, stats."""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS
+from repro.errors import SimulationError
+from repro.sim.engine import Compute, Engine
+from repro.sim.locks import Mutex, RWSemaphore, Spinlock
+
+
+def make(lock_cls, cores=4):
+    engine = Engine(cores)
+    lock = lock_cls(engine, DEFAULT_COSTS, "test")
+    return engine, lock
+
+
+def test_spinlock_mutual_exclusion():
+    engine, lock = make(Spinlock)
+    active = {"count": 0, "max": 0}
+
+    def worker():
+        for _ in range(10):
+            yield from lock.acquire()
+            active["count"] += 1
+            active["max"] = max(active["max"], active["count"])
+            yield Compute(100)
+            active["count"] -= 1
+            yield from lock.release()
+
+    for i in range(4):
+        engine.spawn(worker(), core=i)
+    engine.run()
+    assert active["max"] == 1
+    assert not lock.held
+
+
+def test_spinlock_fifo_order():
+    engine, lock = make(Spinlock)
+    grants = []
+
+    def holder():
+        yield from lock.acquire()
+        yield Compute(1000)
+        yield from lock.release()
+
+    def waiter(name, delay):
+        yield Compute(delay)
+        yield from lock.acquire()
+        grants.append(name)
+        yield from lock.release()
+
+    engine.spawn(holder(), core=0)
+    engine.spawn(waiter("first", 10), core=1)
+    engine.spawn(waiter("second", 20), core=2)
+    engine.spawn(waiter("third", 30), core=3)
+    engine.run()
+    assert grants == ["first", "second", "third"]
+
+
+def test_spinlock_release_unlocked_raises():
+    engine, lock = make(Spinlock)
+
+    def worker():
+        yield from lock.release()
+
+    engine.spawn(worker())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_spinlock_contention_stats():
+    engine, lock = make(Spinlock)
+
+    def worker():
+        yield from lock.acquire()
+        yield Compute(500)
+        yield from lock.release()
+
+    for i in range(3):
+        engine.spawn(worker(), core=i)
+    engine.run()
+    assert lock.acquisitions == 3
+    assert lock.contended_acquisitions == 2
+    assert lock.total_wait_cycles > 0
+    assert 0 < lock.contention_ratio < 1
+
+
+def test_mutex_is_a_lock():
+    engine, lock = make(Mutex)
+
+    def worker():
+        yield from lock.acquire()
+        yield from lock.release()
+
+    engine.spawn(worker())
+    engine.run()
+    assert lock.acquisitions == 1
+
+
+def test_rwsem_readers_share():
+    engine, sem = make(RWSemaphore)
+    concurrency = {"now": 0, "max": 0}
+
+    def reader():
+        yield from sem.acquire_read()
+        concurrency["now"] += 1
+        concurrency["max"] = max(concurrency["max"], concurrency["now"])
+        yield Compute(1000)
+        concurrency["now"] -= 1
+        yield from sem.release_read()
+
+    for i in range(4):
+        engine.spawn(reader(), core=i)
+    engine.run()
+    assert concurrency["max"] == 4
+
+
+def test_rwsem_writer_exclusive():
+    engine, sem = make(RWSemaphore)
+    overlap = {"writer": False, "readers": 0, "violation": False}
+
+    def writer():
+        yield from sem.acquire_write()
+        overlap["writer"] = True
+        if overlap["readers"]:
+            overlap["violation"] = True
+        yield Compute(500)
+        overlap["writer"] = False
+        yield from sem.release_write()
+
+    def reader():
+        yield Compute(100)
+        yield from sem.acquire_read()
+        overlap["readers"] += 1
+        if overlap["writer"]:
+            overlap["violation"] = True
+        yield Compute(200)
+        overlap["readers"] -= 1
+        yield from sem.release_read()
+
+    engine.spawn(writer(), core=0)
+    for i in range(1, 4):
+        engine.spawn(reader(), core=i)
+    engine.run()
+    assert not overlap["violation"]
+
+
+def test_rwsem_writer_fairness_blocks_new_readers():
+    """A queued writer must not be starved by a reader stream."""
+    engine, sem = make(RWSemaphore)
+    order = []
+
+    def long_reader():
+        yield from sem.acquire_read()
+        yield Compute(1000)
+        order.append("reader1-done")
+        yield from sem.release_read()
+
+    def writer():
+        yield Compute(100)  # arrives while reader1 holds it
+        yield from sem.acquire_write()
+        order.append("writer")
+        yield from sem.release_write()
+
+    def late_reader():
+        yield Compute(200)  # arrives after the writer queued
+        yield from sem.acquire_read()
+        order.append("reader2")
+        yield from sem.release_read()
+
+    engine.spawn(long_reader(), core=0)
+    engine.spawn(writer(), core=1)
+    engine.spawn(late_reader(), core=2)
+    engine.run()
+    assert order.index("writer") < order.index("reader2")
+
+
+def test_rwsem_write_serialisation_limits_throughput():
+    """The Fig. 1b mechanism: writer streams serialise fully."""
+    engine, sem = make(RWSemaphore, cores=8)
+    cs = 1000.0
+
+    def writer_stream(n):
+        for _ in range(n):
+            yield from sem.acquire_write()
+            yield Compute(cs)
+            yield from sem.release_write()
+
+    for i in range(8):
+        engine.spawn(writer_stream(5), core=i)
+    total = engine.run()
+    # 40 exclusive critical sections of 1000 cycles each cannot finish
+    # faster than serially.
+    assert total >= 40 * cs
+
+
+def test_rwsem_release_underflow():
+    engine, sem = make(RWSemaphore)
+
+    def worker():
+        yield from sem.release_read()
+
+    engine.spawn(worker())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_lock_without_current_thread():
+    engine = Engine(1)
+    lock = Spinlock(engine, DEFAULT_COSTS)
+    with pytest.raises(SimulationError):
+        next(lock.acquire())

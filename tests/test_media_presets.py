@@ -1,0 +1,59 @@
+"""Media preset tests (§VI: DaxVM beyond Optane)."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_COSTS,
+    MEDIA_PRESETS,
+    cxl_flash_costs,
+    fast_nvm_costs,
+    optane_costs,
+)
+from repro.system import System
+from repro.workloads import EphemeralConfig, Interface, run_ephemeral
+
+
+def test_registry_complete():
+    assert set(MEDIA_PRESETS) == {"optane", "cxl-flash", "fast-nvm"}
+    for factory in MEDIA_PRESETS.values():
+        costs = factory()
+        assert costs.machine.freq_hz == 2.7e9
+
+
+def test_optane_is_the_default():
+    assert optane_costs() == DEFAULT_COSTS
+
+
+def test_latency_ordering_across_media():
+    cxl = cxl_flash_costs()
+    nvm = fast_nvm_costs()
+    optane = optane_costs()
+    assert cxl.pmem_load_latency > optane.pmem_load_latency \
+        > nvm.pmem_load_latency
+    # Software costs are medium-independent.
+    assert cxl.syscall_crossing == optane.syscall_crossing
+    assert nvm.fault_entry == optane.fault_entry
+
+
+@pytest.mark.parametrize("media", sorted(MEDIA_PRESETS))
+def test_systems_run_on_every_medium(media):
+    system = System(costs=MEDIA_PRESETS[media](), device_bytes=1 << 30)
+    cfg = EphemeralConfig(file_size=16 << 10, num_files=20,
+                          interface=Interface.DAXVM)
+    result = run_ephemeral(system, cfg)
+    assert result.operations == 20
+
+
+def test_daxvm_advantage_grows_as_media_approach_dram():
+    def rel(media):
+        read = run_ephemeral(
+            System(costs=MEDIA_PRESETS[media](), device_bytes=1 << 30),
+            EphemeralConfig(file_size=32 << 10, num_files=120,
+                            interface=Interface.READ))
+        daxvm = run_ephemeral(
+            System(costs=MEDIA_PRESETS[media](), device_bytes=1 << 30),
+            EphemeralConfig(file_size=32 << 10, num_files=120,
+                            interface=Interface.DAXVM))
+        return daxvm.mb_per_second / read.mb_per_second
+
+    assert rel("fast-nvm") > rel("optane")

@@ -1,0 +1,98 @@
+"""Red-black tree: unit tests plus hypothesis model checks."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.rbtree import RBTree
+
+
+def test_insert_and_get():
+    tree = RBTree()
+    tree.insert(10, "a")
+    tree.insert(5, "b")
+    tree.insert(20, "c")
+    assert tree.get(10) == "a"
+    assert tree.get(5) == "b"
+    assert tree.get(99) is None
+    assert len(tree) == 3
+    assert 20 in tree
+
+
+def test_insert_replaces_value():
+    tree = RBTree()
+    tree.insert(1, "x")
+    tree.insert(1, "y")
+    assert tree.get(1) == "y"
+    assert len(tree) == 1
+
+
+def test_floor_and_ceiling():
+    tree = RBTree()
+    for key in (10, 20, 30):
+        tree.insert(key, key)
+    assert tree.floor(25) == (20, 20)
+    assert tree.floor(10) == (10, 10)
+    assert tree.floor(5) is None
+    assert tree.ceiling(25) == (30, 30)
+    assert tree.ceiling(31) is None
+
+
+def test_items_in_order():
+    tree = RBTree()
+    keys = [5, 3, 8, 1, 4, 7, 9, 2, 6]
+    for key in keys:
+        tree.insert(key, None)
+    assert [k for k, _v in tree.items()] == sorted(keys)
+    assert tree.min() == (1, None)
+
+
+def test_delete():
+    tree = RBTree()
+    for key in range(20):
+        tree.insert(key, key)
+    assert tree.delete(7)
+    assert not tree.delete(7)
+    assert tree.get(7) is None
+    assert len(tree) == 19
+    tree.check_invariants()
+
+
+def test_large_random_workload_keeps_invariants():
+    rng = random.Random(0)
+    tree = RBTree()
+    model = {}
+    for _ in range(3000):
+        key = rng.randrange(500)
+        if rng.random() < 0.6:
+            tree.insert(key, key * 2)
+            model[key] = key * 2
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    tree.check_invariants()
+    assert sorted(model.items()) == list(tree.items())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 64)),
+                max_size=200))
+def test_property_matches_dict_model(ops):
+    """Insert/delete streams agree with a dict model; RB invariants
+    hold at every step's end."""
+    tree = RBTree()
+    model = {}
+    for insert, key in ops:
+        if insert:
+            tree.insert(key, key)
+            model[key] = key
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    tree.check_invariants()
+    assert list(tree.items()) == sorted(model.items())
+    for probe in range(-1, 66):
+        expected = max((k for k in model if k <= probe), default=None)
+        got = tree.floor(probe)
+        assert (got[0] if got else None) == expected

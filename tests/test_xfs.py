@@ -1,0 +1,80 @@
+"""xfs-DAX behaviour tests (between ext4's and NOVA's disciplines)."""
+
+import pytest
+
+from repro.system import System
+from repro.workloads import AppendConfig, AppendVariant, run_append
+
+
+@pytest.fixture
+def xfs_system():
+    return System(device_bytes=1 << 30, fs_type="xfs")
+
+
+def run(system, gen):
+    thread = system.spawn(gen, core=0)
+    system.run()
+    return thread.result
+
+
+def test_xfs_selectable(xfs_system):
+    assert xfs_system.fs.name == "xfs-dax"
+
+
+def test_xfs_skips_zeroing_on_write_path(xfs_system):
+    def flow():
+        f = yield from xfs_system.fs.open("/x", create=True)
+        yield from xfs_system.fs.write(f, 0, 1 << 20)
+
+    run(xfs_system, flow())
+    assert xfs_system.stats.get("fs.blocks_zeroed_sync") == 0
+
+
+def test_xfs_zeroes_on_fallocate(xfs_system):
+    def flow():
+        f = yield from xfs_system.fs.open("/x", create=True)
+        yield from xfs_system.fs.fallocate(f, 1 << 20)
+
+    run(xfs_system, flow())
+    assert xfs_system.stats.get("fs.blocks_zeroed_sync") == 256
+
+
+def test_xfs_mapsync_fault_commits_journal(xfs_system):
+    def flow():
+        yield from xfs_system.fs.mapsync_fault()
+
+    t0 = xfs_system.engine.now
+    run(xfs_system, flow())
+    assert xfs_system.engine.now - t0 >= xfs_system.costs.journal_commit
+
+
+def test_xfs_appends_sit_between_ext4_and_nova():
+    """write() appends: ext4 zeroes (slow), xfs/NOVA do not; so the
+    mmap-vs-write gap on xfs resembles NOVA's, while MAP_SYNC costs
+    resemble ext4's."""
+
+    def write_throughput(fs_type):
+        system = System(device_bytes=2 << 30, fs_type=fs_type)
+        cfg = AppendConfig(append_size=512 << 10, num_appends=20,
+                           variant=AppendVariant.WRITE)
+        return run_append(system, cfg).mb_per_second
+
+    ext4 = write_throughput("ext4")
+    xfs = write_throughput("xfs")
+    nova = write_throughput("nova")
+    assert xfs > 1.3 * ext4       # no conservative zeroing
+    assert abs(xfs - nova) / nova < 0.5  # same write-path discipline
+
+
+def test_daxvm_prezero_closes_xfs_mmap_gap():
+    def tput(variant):
+        system = System(device_bytes=2 << 30, fs_type="xfs")
+        cfg = AppendConfig(append_size=512 << 10, num_appends=20,
+                           variant=variant)
+        return run_append(system, cfg).mb_per_second
+
+    mmap = tput(AppendVariant.MMAP)
+    write = tput(AppendVariant.WRITE)
+    dax = tput(AppendVariant.DAXVM_PREZERO_NOSYNC)
+    assert mmap < write            # MM appends pay fallocate zeroing
+    assert dax > mmap              # pre-zeroing removes it
