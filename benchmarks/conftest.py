@@ -13,9 +13,19 @@ records the (Python) runtime of regenerating each artifact.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
+from repro.sim.stats import Stats
 from repro.system import System
+
+#: Per-bench instrumentation records (one JSON list for the whole
+#: session), written next to the repo root.
+BENCH_LOG = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+_records: list = []
 
 
 def once(benchmark, fn):
@@ -35,3 +45,48 @@ def aged_system(device_bytes=4 << 30, **kw) -> System:
 def _print_spacer():
     print()
     yield
+
+
+def pytest_configure(config):
+    _records.clear()
+
+
+@pytest.fixture(autouse=True)
+def _bench_recorder(request):
+    """Record each bench's simulated work to ``BENCH_PR1.json``.
+
+    Every ``System`` built during the test is tracked; afterwards their
+    :class:`~repro.sim.stats.Stats` are merged (satellite: Stats.merge)
+    and the bench's total simulated cycles, wall time and largest
+    counters are appended to the session log.
+    """
+    created = []
+    original_init = System.__init__
+
+    def tracking_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        created.append(self)
+
+    System.__init__ = tracking_init
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        System.__init__ = original_init
+    wall = time.perf_counter() - start
+    if not created:
+        return
+    merged = Stats()
+    cycles = 0.0
+    for system in created:
+        merged.merge(system.stats)
+        cycles += system.engine.now
+    counters = merged.to_json()["counters"]
+    top = sorted(counters.items(), key=lambda kv: -abs(kv[1]))[:12]
+    _records.append({
+        "bench": request.node.nodeid,
+        "simulated_cycles": cycles,
+        "wall_seconds": wall,
+        "key_counters": dict(top),
+    })
+    BENCH_LOG.write_text(json.dumps(_records, indent=2) + "\n")

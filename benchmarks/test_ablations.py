@@ -3,7 +3,6 @@ migration."""
 
 from conftest import aged_system, once
 
-from repro.sim.engine import Compute
 from repro.system import System
 from repro.workloads import (
     ApacheConfig,

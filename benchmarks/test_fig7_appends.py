@@ -10,7 +10,6 @@ Single-op appends of 4 KB - 4 MB onto empty files.  Paper shapes:
   by up to ~45 %.
 """
 
-import pytest
 from conftest import once
 
 from repro.analysis.results import Table

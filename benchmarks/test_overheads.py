@@ -2,9 +2,8 @@
 plus §III's motivating measurements (msync fault blow-up, zeroing
 share)."""
 
-from conftest import aged_system, fresh_system, once
+from conftest import fresh_system, once
 
-from repro.system import System
 from repro.vm.vma import MapFlags, Protection
 from repro.workloads import (
     AppendConfig,

@@ -5,12 +5,10 @@ The paper's comparison table is qualitative; this bench renders it and
 implementation, so the row cannot rot.
 """
 
-import pytest
 from conftest import fresh_system, once
 
 from repro.analysis.results import Table
 from repro.analysis.report import format_table
-from repro.errors import NotSupportedError
 from repro.mem.physmem import Medium
 from repro.vm.vma import MapFlags, Protection
 

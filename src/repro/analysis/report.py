@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 from repro.analysis.results import Series, Table
+from repro.obs import DOMAIN_ORDER
 
 
 def format_table(table: Table) -> str:
@@ -44,6 +45,59 @@ def format_series(title: str, series: Iterable[Series],
             cells.append(y if y is not None else "-")
         table.add_row(*cells)
     return format_table(table)
+
+
+def format_domain_breakdown(title: str, domains: Dict[str, float],
+                            width: int = 32) -> str:
+    """Render a per-cost-domain cycle breakdown (ledger output).
+
+    ``domains`` is ``{"zeroing": cycles, ...}`` as produced by
+    :meth:`repro.obs.Ledger.domains` or :attr:`repro.analysis.results.
+    RunResult.domains`; domains print in the canonical taxonomy order
+    with their share of all attributed cycles.
+    """
+    total = sum(domains.values())
+    known = [d.value for d in DOMAIN_ORDER if d.value in domains]
+    extra = sorted(k for k in domains if k not in known)
+    keys = known + extra
+    lwidth = max((len(k) for k in keys), default=5)
+    lwidth = max(lwidth, len("total"))
+    lines = [title]
+    for key in keys:
+        cycles = domains[key]
+        share = cycles / total if total else 0.0
+        bar = "#" * max(1, int(width * share)) if cycles else ""
+        lines.append(f"{key.ljust(lwidth)}  {cycles:14.0f}"
+                     f"  {share * 100:5.1f}%  {bar}")
+    lines.append(f"{'total'.ljust(lwidth)}  {total:14.0f}  100.0%")
+    return "\n".join(lines)
+
+
+def format_lock_report(title: str,
+                       reports: Iterable[Dict[str, float]]) -> str:
+    """Render per-lock wait-vs-hold summaries (Fig. 8a's contention).
+
+    ``reports`` is an iterable of :meth:`repro.sim.locks._LockBase.
+    report` dicts; reader/writer splits are shown for rw-semaphores.
+    """
+    table = Table(title, ["lock", "kind", "acq", "contended",
+                          "wait cycles", "hold cycles"])
+    splits = []
+    for rep in reports:
+        table.add_row(rep["name"], rep["kind"], rep["acquisitions"],
+                      rep["contended"], rep["wait_cycles"],
+                      rep["hold_cycles"])
+        if "read_wait_cycles" in rep:
+            splits.append(
+                f"{rep['name']}: read wait/hold "
+                f"{rep['read_wait_cycles']:.0f}/"
+                f"{rep['read_hold_cycles']:.0f}"
+                f"  write wait/hold {rep['write_wait_cycles']:.0f}/"
+                f"{rep['write_hold_cycles']:.0f}")
+    out = format_table(table)
+    if splits:
+        out += "\n" + "\n".join(splits)
+    return out
 
 
 def render_bars(title: str, labels: Iterable[str],

@@ -26,6 +26,12 @@ class RunResult:
     bytes_processed: float = 0.0
     #: Counter snapshot deltas for the measured phase.
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Per-cost-domain cycle deltas for the measured phase (from the
+    #: engine ledger): ``{"zeroing": cycles, ...}``.
+    domains: Dict[str, float] = field(default_factory=dict)
+    #: Latency percentile summaries per operation type (from the Stats
+    #: histograms): ``{"span.append": {"p50": ..., ...}}``.
+    percentiles: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Clock frequency, for time conversions.
     freq_hz: float = 2.7e9
 
@@ -55,6 +61,11 @@ class RunResult:
         if other.ops_per_second == 0:
             return 0.0
         return self.ops_per_second / other.ops_per_second
+
+    def domain_share(self, domain: str) -> float:
+        """Fraction of attributed cycles in one cost domain."""
+        total = sum(self.domains.values())
+        return self.domains.get(domain, 0.0) / total if total else 0.0
 
 
 @dataclass

@@ -21,7 +21,8 @@ a small deferred apply cost instead of an IPI.
 from __future__ import annotations
 
 from repro.config import CostModel
-from repro.sim.engine import Compute, Engine
+from repro.obs import Counter, CostDomain, charge
+from repro.sim.engine import Engine
 from repro.sim.locks import Spinlock
 from repro.sim.stats import Stats
 from repro.vm.mm import MMStruct
@@ -48,22 +49,25 @@ class LatrUnmapper:
 
     def munmap(self, vma: VMA):
         """Unmap with lazy TLB coherence.  Generator."""
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "latr-munmap",
+                     self.costs.syscall_crossing)
         yield from self.mm.mmap_sem.acquire_write()
         pages = self.mm.page_table.clear_range(vma.start, vma.length)
-        yield Compute(pages * self.costs.pte_teardown
-                      + self.costs.vma_free)
+        yield charge(CostDomain.SYSCALL, "pte-teardown",
+                     pages * self.costs.pte_teardown
+                     + self.costs.vma_free)
         # Post invalidation records instead of sending IPIs.
         yield from self.state_lock.acquire()
         remote = [c for c in self.mm.active_cores
                   if c != self.mm._initiator_core()]
-        yield Compute(LATR_MSG_POST * len(remote)
-                      + self.costs.tlb_invlpg * min(
-                          pages, self.costs.full_flush_threshold))
+        yield charge(CostDomain.TLB_SHOOTDOWN, "latr-msg-post",
+                     LATR_MSG_POST * len(remote)
+                     + self.costs.tlb_invlpg * min(
+                         pages, self.costs.full_flush_threshold))
         self.engine.interrupt_cores(remote, LATR_APPLY)
         self.lazy_invalidations += len(remote)
-        self.stats.add("latr.lazy_invalidations", len(remote))
+        self.stats.add(Counter.LATR_LAZY_INVALIDATIONS, len(remote))
         yield from self.state_lock.release()
         self.mm._drop_vma(vma)
         yield from self.mm.mmap_sem.release_write()
-        self.stats.add("vm.munmap_calls")
+        self.stats.add(Counter.VM_MUNMAP_CALLS)

@@ -8,16 +8,24 @@ the registry; the full-scale regenerations live in ``benchmarks/``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict
 
-from repro.analysis.report import format_series, format_table
+from repro.analysis.report import (
+    format_domain_breakdown,
+    format_lock_report,
+    format_series,
+    format_table,
+)
 from repro.analysis.results import Series, Table
 from repro.config import MEDIA_PRESETS
 from repro.paging.tlb import AccessPattern
 from repro.system import System
 from repro.workloads import (
     ApacheConfig,
+    AppendConfig,
+    AppendVariant,
     DaxVMOptions,
     EphemeralConfig,
     Interface,
@@ -27,6 +35,7 @@ from repro.workloads import (
     ServerInterface,
     YCSBConfig,
     run_apache,
+    run_append,
     run_ephemeral,
     run_predis,
     run_repetitive,
@@ -34,12 +43,21 @@ from repro.workloads import (
 )
 
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], None]] = {}
+PERF_TARGETS: Dict[str, Callable[[argparse.Namespace], None]] = {}
 
 
 def experiment(name: str, help_text: str):
     def decorate(fn):
         fn.help_text = help_text
         EXPERIMENTS[name] = fn
+        return fn
+    return decorate
+
+
+def perf_target(name: str, help_text: str):
+    def decorate(fn):
+        fn.help_text = help_text
+        PERF_TARGETS[name] = fn
         return fn
     return decorate
 
@@ -181,14 +199,83 @@ def _media(args):
     print(format_table(table))
 
 
+@perf_target("fig7", "per-domain cycle breakdown of ext4-DAX appends")
+def _perf_fig7(args):
+    """Where do mmap-append cycles go?  The ledger answers directly:
+    zeroing dominates (the paper's Fig. 7 motivation) without any
+    bench-side counter arithmetic."""
+    system = _system(args)
+    cfg = AppendConfig(append_size=args.size if args.size != 32 << 10
+                       else 256 << 10,
+                       num_appends=max(8, args.ops // 8),
+                       variant=AppendVariant.MMAP)
+    r = run_append(system, cfg)
+    if args.json:
+        print(json.dumps({
+            "target": "fig7",
+            "label": r.label,
+            "cycles": r.cycles,
+            "domains": r.domains,
+            "percentiles": r.percentiles,
+            "stats": system.stats.to_json(),
+            "ledger": system.ledger.to_json(),
+        }, indent=2, sort_keys=True))
+        return
+    print(format_domain_breakdown(
+        f"ext4-DAX mmap append, {cfg.append_size >> 10} KB "
+        f"x {cfg.num_appends} (cycles by cost domain)", r.domains))
+    append_summary = r.percentiles.get("span.append")
+    if append_summary:
+        print(f"append latency (cycles): "
+              f"p50={append_summary['p50']:.0f} "
+              f"p95={append_summary['p95']:.0f} "
+              f"p99={append_summary['p99']:.0f}")
+    share = r.domain_share("zeroing")
+    print(f"zeroing share of attributed cycles: {share * 100:.1f}%")
+
+
+@perf_target("fig8a", "mmap_sem wait-vs-hold under webserver load")
+def _perf_fig8a(args):
+    """The rw-semaphore contention behind Fig. 8a's mmap collapse:
+    per-lock wait and hold cycles recorded by the locks themselves."""
+    workers = args.threads if args.threads > 1 else 8
+    system = _system(args)
+    cfg = ApacheConfig(num_workers=workers, requests=args.ops,
+                       interface=ServerInterface.MMAP)
+    r = run_apache(system, cfg)
+    reports = [lock.report() for lock in system.engine.locks
+               if lock.acquisitions]
+    if args.json:
+        print(json.dumps({
+            "target": "fig8a",
+            "label": r.label,
+            "cycles": r.cycles,
+            "domains": r.domains,
+            "locks": reports,
+            "stats": system.stats.to_json(),
+        }, indent=2, sort_keys=True))
+        return
+    print(format_lock_report(
+        f"Apache mmap, {workers} workers x {args.ops} requests",
+        reports))
+    print()
+    print(format_domain_breakdown("cycles by cost domain", r.domains))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="DaxVM reproduction experiments (compact versions; "
                     "full regenerations live in benchmarks/)")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["list"],
-                        help="which experiment to run")
+                        choices=sorted(EXPERIMENTS) + ["perf", "list"],
+                        help="which experiment to run ('perf' drills "
+                             "into instrumentation breakdowns)")
+    parser.add_argument("target", nargs="?",
+                        choices=sorted(PERF_TARGETS),
+                        help="perf target (with 'perf')")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON (perf only)")
     parser.add_argument("--ops", type=int, default=400,
                         help="operation/file/request count")
     parser.add_argument("--size", type=int, default=32 << 10,
@@ -210,6 +297,15 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name, fn in sorted(EXPERIMENTS.items()):
             print(f"{name:<12} {fn.help_text}")
+        for name, fn in sorted(PERF_TARGETS.items()):
+            print(f"perf {name:<7} {fn.help_text}")
+        return 0
+    if args.experiment == "perf":
+        if args.target is None:
+            print("perf needs a target: " + ", ".join(sorted(PERF_TARGETS)),
+                  file=sys.stderr)
+            return 2
+        PERF_TARGETS[args.target](args)
         return 0
     EXPERIMENTS[args.experiment](args)
     return 0

@@ -22,7 +22,8 @@ from typing import Callable, List
 
 from repro.config import CostModel
 from repro.fs.vfs import Inode
-from repro.sim.engine import Compute, Engine
+from repro.obs import Counter, CostDomain, charge
+from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 from repro.vm.mm import MMStruct
 from repro.vm.vma import VMA
@@ -61,8 +62,9 @@ class AsyncUnmapper:
         vma._releaser = releaser
         self._zombies.append(vma)
         self._zombie_pages += vma.mapped_pages or vma.num_pages
-        self.stats.add("daxvm.unmaps_deferred")
-        yield Compute(self.costs.atomic_rmw)
+        self.stats.add(Counter.DAXVM_UNMAPS_DEFERRED)
+        yield charge(CostDomain.SYSCALL, "unmap-defer",
+                     self.costs.atomic_rmw)
         if self._zombie_pages > self.batch_pages:
             yield from self.reap()
 
@@ -77,7 +79,7 @@ class AsyncUnmapper:
             self.mm.page_table.clear_range(vma.start, vma.length)
             teardown += (len(vma.attachments) * self.costs.pmd_attach
                          or vma.num_pages * self.costs.pte_teardown)
-        yield Compute(teardown)
+        yield charge(CostDomain.SYSCALL, "zombie-teardown", teardown)
         yield from self.mm.shootdowns.flush(
             self.mm._initiator_core(), self.mm.active_cores, pages,
             force_full=True)
@@ -88,11 +90,11 @@ class AsyncUnmapper:
             yield from vma._releaser(vma)
             vma.zombie = False
         self.reaps += 1
-        self.stats.add("daxvm.zombie_reaps")
-        self.stats.add("daxvm.zombie_pages_reaped", pages)
+        self.stats.add(Counter.DAXVM_ZOMBIE_REAPS)
+        self.stats.add(Counter.DAXVM_ZOMBIE_PAGES_REAPED, pages)
 
     def force_sync_for_inode(self, inode: Inode):
         """FS race guard: reap before the inode's blocks are reclaimed."""
         if any(vma.inode is inode for vma in self._zombies):
-            self.stats.add("daxvm.forced_sync_unmaps")
+            self.stats.add(Counter.DAXVM_FORCED_SYNC_UNMAPS)
             yield from self.reap()

@@ -24,7 +24,8 @@ from typing import Dict, List, Optional
 
 from repro.config import CostModel
 from repro.errors import AddressSpaceError
-from repro.sim.engine import Compute, Engine
+from repro.obs import Counter, CostDomain, charge
+from repro.sim.engine import Engine
 from repro.sim.locks import Spinlock
 from repro.sim.stats import Stats
 from repro.vm.mm import MMStruct
@@ -89,7 +90,8 @@ class EphemeralHeap:
         if size <= 0 or size % PAGE_SIZE:
             raise AddressSpaceError(f"bad ephemeral size {size:#x}")
         yield from self.lock.acquire()
-        yield Compute(self.costs.atomic_rmw)
+        yield charge(CostDomain.SYSCALL, "ephemeral-alloc",
+                     self.costs.atomic_rmw)
         if self._current is None or \
                 self._current.bump + size + align > self._current.size:
             self._current = self._grow()
@@ -99,7 +101,7 @@ class EphemeralHeap:
         region.bump = (start + size) - region.base
         region.live += 1
         self.allocations += 1
-        self.stats.add("daxvm.ephemeral_allocs")
+        self.stats.add(Counter.DAXVM_EPHEMERAL_ALLOCS)
         yield from self.lock.release()
         return start
 
@@ -111,7 +113,8 @@ class EphemeralHeap:
     def free(self, vma: VMA):
         """Release an ephemeral VMA's addresses; generator."""
         yield from self.lock.acquire()
-        yield Compute(self.costs.atomic_rmw)
+        yield charge(CostDomain.SYSCALL, "ephemeral-free",
+                     self.costs.atomic_rmw)
         self.vmas.pop(vma.start, None)
         region = self._region_of(vma.start)
         if region is not None:
@@ -119,7 +122,7 @@ class EphemeralHeap:
             if region.live == 0 and region is not self._current:
                 # Whole region quiesced: its addresses recycle.
                 self._recycled.append(region)
-                self.stats.add("daxvm.ephemeral_region_recycles")
+                self.stats.add(Counter.DAXVM_EPHEMERAL_REGION_RECYCLES)
         yield from self.lock.release()
 
     def _region_of(self, addr: int) -> Optional[_Region]:

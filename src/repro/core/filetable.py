@@ -30,6 +30,7 @@ from repro.fs.base import FileSystem
 from repro.fs.block import BLOCK_SIZE, BlockDevice
 from repro.fs.vfs import Inode
 from repro.mem.physmem import Medium, PhysicalMemory
+from repro.obs import Counter
 from repro.paging.flags import PageFlags
 from repro.paging.pagetable import (
     ENTRIES_PER_NODE,
@@ -333,7 +334,7 @@ class FileTableManager:
             inode.volatile_file_table = table
             cycles = table.extend(self.fs)
             self.tables_built += 1
-            self.stats.add("daxvm.volatile_rebuilds")
+            self.stats.add(Counter.DAXVM_VOLATILE_REBUILDS)
             return cycles
         return 0.0
 
@@ -341,7 +342,7 @@ class FileTableManager:
         if inode.volatile_file_table is not None:
             inode.volatile_file_table.destroy()
             inode.volatile_file_table = None
-            self.stats.add("daxvm.volatile_evictions")
+            self.stats.add(Counter.DAXVM_VOLATILE_EVICTIONS)
 
     # -- migration (Table III rule) ------------------------------------------
     def migrate_to_dram(self, inode: Inode) -> float:
@@ -358,7 +359,7 @@ class FileTableManager:
         inode.volatile_file_table = volatile
         cycles = volatile.extend(self.fs)
         self.migrations += 1
-        self.stats.add("daxvm.table_migrations")
+        self.stats.add(Counter.DAXVM_TABLE_MIGRATIONS)
         return cycles
 
     # -- reporting -----------------------------------------------------------

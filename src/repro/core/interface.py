@@ -19,7 +19,7 @@ instead of one fault per page — and an ephemeral mmap takes
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.config import CostModel
 from repro.core.async_unmap import AsyncUnmapper
@@ -33,8 +33,9 @@ from repro.fs.vfs import Inode
 from repro.mem.latency import MemoryModel
 from repro.mem.physmem import Medium, PhysicalMemory
 from repro.paging.flags import PageFlags
+from repro.obs import Counter, CostDomain, charge
 from repro.paging.pagetable import PMD_LEVEL
-from repro.sim.engine import Compute, Engine
+from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 from repro.vm.mm import MMStruct
 from repro.vm.vma import PAGE_SIZE, VMA, MapFlags, Protection
@@ -89,11 +90,12 @@ class DaxVM:
                 "MAP_NO_MSYNC must be combined with MAP_SYNC")
         if length is None:
             length = max(inode.size - offset, PAGE_SIZE)
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "daxvm-mmap",
+                     self.costs.syscall_crossing)
 
         table, build_cycles = self.filetables.ensure(inode)
         if build_cycles:
-            yield Compute(build_cycles)
+            yield charge(CostDomain.FILETABLE, "table-build", build_cycles)
 
         # Silent rounding to the attachment granularity (§IV-A2).
         granule = PUD_SIZE if length > PUD_SIZE else PMD_SIZE
@@ -110,7 +112,8 @@ class DaxVM:
             start = yield from self.ephemeral.allocate(span, align=granule)
         else:
             yield from self.mm.mmap_sem.acquire_write()
-            yield Compute(self.costs.vma_alloc)
+            yield charge(CostDomain.SYSCALL, "vma-alloc",
+                         self.costs.vma_alloc)
             start = self.mm.layout.allocate(span, align=granule)
 
         vma = VMA(start, start + span, inode, lo, prot, flags)
@@ -120,7 +123,7 @@ class DaxVM:
         vma.dirty_granule = granule
         vma.user_addr = start + (offset - lo)
         attach_cost = self._attach(vma, table, granule)
-        yield Compute(attach_cost)
+        yield charge(CostDomain.FILETABLE, "attach", attach_cost)
         inode.i_mmap.append(vma)
 
         if ephemeral:
@@ -129,7 +132,7 @@ class DaxVM:
         else:
             self.mm.vmas.insert(start, vma)
             yield from self.mm.mmap_sem.release_write()
-        self.stats.add("daxvm.mmap_calls")
+        self.stats.add(Counter.DAXVM_MMAP_CALLS)
         return vma
 
     def _attach(self, vma: VMA, table, granule: int) -> float:
@@ -178,7 +181,7 @@ class DaxVM:
         span_pages = min(table.filled_pages - first_region * PAGES_PER_PMD,
                          vma.length // PAGE_SIZE)
         vma.mapped_pages = max(0, span_pages)
-        self.stats.add("daxvm.attachments", len(vma.attachments))
+        self.stats.add(Counter.DAXVM_ATTACHMENTS, len(vma.attachments))
         return cost
 
     # ------------------------------------------------------------------
@@ -186,18 +189,20 @@ class DaxVM:
     # ------------------------------------------------------------------
     def munmap(self, vma: VMA):
         """Unmap (possibly deferred).  Generator."""
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "daxvm-munmap",
+                     self.costs.syscall_crossing)
         if vma.flags & MapFlags.UNMAP_ASYNC:
             releaser = (self._release_ephemeral if vma.is_ephemeral
                         else self._release_regular)
             yield from self.unmapper.defer(vma, releaser)
         else:
             yield from self._sync_unmap(vma)
-        self.stats.add("daxvm.munmap_calls")
+        self.stats.add(Counter.DAXVM_MUNMAP_CALLS)
 
     def _sync_unmap(self, vma: VMA):
         pages = self.mm.page_table.clear_range(vma.start, vma.length)
-        yield Compute(len(vma.attachments) * self.costs.pmd_attach)
+        yield charge(CostDomain.FILETABLE, "detach",
+                     len(vma.attachments) * self.costs.pmd_attach)
         if pages:
             yield from self.mm.shootdowns.flush(
                 self.mm._initiator_core(), self.mm.active_cores, pages)
@@ -229,14 +234,16 @@ class DaxVM:
             raise NotSupportedError("mprotect on MAP_EPHEMERAL mapping")
         if offset != 0 or length < vma.length:
             raise NotSupportedError("partial mprotect on a DaxVM mapping")
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "daxvm-mprotect",
+                     self.costs.syscall_crossing)
         yield from self.mm.mmap_sem.acquire_write()
         flags = (PageFlags.rw() if prot & Protection.WRITE
                  else PageFlags.ro())
         # Permissions live at the attachment level: one entry per slot.
         for vaddr, _level, payload in vma.attachments:
             self.mm.page_table.protect_range(vaddr, PMD_SIZE, flags)
-        yield Compute(len(vma.attachments) * self.costs.pmd_attach)
+        yield charge(CostDomain.FILETABLE, "reprotect-attachments",
+                     len(vma.attachments) * self.costs.pmd_attach)
         vma.prot = prot
         yield from self.mm.shootdowns.flush(
             self.mm._initiator_core(), self.mm.active_cores,
@@ -262,8 +269,9 @@ class DaxVM:
     def persist_user(self, nbytes: int):
         """clwb+sfence a user-written range (application-managed
         durability)."""
-        yield Compute(self.mem.clwb_flush(nbytes))
-        self.stats.add("daxvm.user_flush_bytes", nbytes)
+        yield charge(CostDomain.COPY, "user-flush",
+                     self.mem.clwb_flush(nbytes))
+        self.stats.add(Counter.DAXVM_USER_FLUSH_BYTES, nbytes)
 
     # ------------------------------------------------------------------
     # Monitor-driven table migration (§IV-A1).
@@ -279,7 +287,7 @@ class DaxVM:
                 inodes.append(vma.inode)
         build_cycles = self.monitor.check(inodes)
         if build_cycles <= 0:
-            yield Compute(0.0)
+            yield charge(CostDomain.FILETABLE, "monitor-no-trigger", 0.0)
             return False
         # Swap each mapping's attachments to the volatile tables.
         swap_cost = 0.0
@@ -295,7 +303,8 @@ class DaxVM:
             granule = PUD_SIZE if vma.length > PUD_SIZE else PMD_SIZE
             swap_cost += self._attach(vma, table, granule)
             vma.leaf_medium = Medium.DRAM
-        yield Compute(swap_cost * 2)  # detach walk + attach walk
+        yield charge(CostDomain.FILETABLE, "table-migration-swap",
+                     swap_cost * 2)  # detach walk + attach walk
         yield from self.mm.shootdowns.flush(
             self.mm._initiator_core(), self.mm.active_cores,
             self.costs.full_flush_threshold + 1, force_full=True)

@@ -20,6 +20,7 @@ from typing import List, Tuple
 from repro.config import CostModel
 from repro.core.filetable import FileTableManager
 from repro.fs.vfs import Inode
+from repro.obs import Counter
 from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 
@@ -41,8 +42,8 @@ class MMUMonitor:
 
     def sample(self) -> Tuple[float, float]:
         """Windowed (AvgPageWalk, MMU overhead) since the last sample."""
-        walk = self.stats.get("vm.walk_cycles")
-        misses = self.stats.get("vm.tlb_misses")
+        walk = self.stats.get(Counter.VM_WALK_CYCLES)
+        misses = self.stats.get(Counter.VM_TLB_MISSES)
         now = self.engine.now
         d_walk = walk - self._last_walk_cycles
         d_miss = misses - self._last_misses

@@ -25,7 +25,8 @@ from repro.config import CostModel
 from repro.fs.base import FileSystem
 from repro.fs.block import BLOCK_SIZE
 from repro.mem.latency import BandwidthThrottle, MemoryModel
-from repro.sim.engine import Compute, Engine
+from repro.obs import Counter, CostDomain, charge
+from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 
 
@@ -68,7 +69,7 @@ class PreZeroDaemon:
         for run in runs:
             lst.append(run)
             self._pending_blocks += run[1]
-        self.stats.add("daxvm.prezero_queued_blocks",
+        self.stats.add(Counter.DAXVM_PREZERO_QUEUED_BLOCKS,
                        sum(r[1] for r in runs))
         return True
 
@@ -95,7 +96,8 @@ class PreZeroDaemon:
                 start, length = self._next_run()
             except LookupError:
                 self.mem.interference = 1.0
-                yield Compute(PreZeroDaemon.IDLE_PERIOD)
+                yield charge(CostDomain.ZEROING, "prezero-idle",
+                             PreZeroDaemon.IDLE_PERIOD)
                 continue
             # While the daemon streams nt-stores, concurrent PMem
             # traffic pays the media-interference penalty.
@@ -103,11 +105,12 @@ class PreZeroDaemon:
             nbytes = length * BLOCK_SIZE
             delay = self.throttle.delay_for(nbytes, self.engine.now)
             zero_cycles = self.mem.zero(nbytes)
-            yield Compute(delay + zero_cycles)
+            yield charge(CostDomain.ZEROING, "prezero-zero",
+                         delay + zero_cycles)
             self.fs.zeroed.add(start, start + length)
             self.fs.device.free(start, length)
             self.blocks_zeroed += length
-            self.stats.add("daxvm.blocks_prezeroed", length)
+            self.stats.add(Counter.DAXVM_BLOCKS_PREZEROED, length)
             if self._pending_blocks == 0:
                 self.mem.interference = 1.0
 

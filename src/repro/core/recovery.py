@@ -23,6 +23,7 @@ from typing import List
 
 from repro.core.filetable import FileTableManager
 from repro.fs.vfs import Inode, VFS
+from repro.obs import Counter
 
 
 @dataclass
@@ -90,7 +91,7 @@ class RecoveryLog:
             table.truncate(expected)
         missing_before = expected - table.filled_pages
         self.manager.fs.stats.add(
-            "daxvm.recovery_ptes", max(0, missing_before))
+            Counter.DAXVM_RECOVERY_PTES, max(0, missing_before))
         table.extend(self.manager.fs)
         report.tables_repaired += 1
         report.ptes_replayed += max(0, missing_before)

@@ -21,6 +21,16 @@ class DeadlockError(SimulationError):
     """No runnable thread exists but blocked threads remain."""
 
 
+class MissingCounterError(ReproError):
+    """A statistic was read whose counter was never touched.
+
+    Raised by :meth:`Stats.ratio` and :meth:`Stats.percentile` instead
+    of silently returning 0.0, which used to mask instrumentation that
+    never fired (a ratio against a never-incremented denominator looks
+    identical to a genuinely zero one).
+    """
+
+
 class MemoryError_(ReproError):
     """Physical memory exhaustion (DRAM or PMem)."""
 

@@ -28,7 +28,7 @@ from repro.fs.intervals import IntervalSet
 from repro.fs.vfs import VFS, DaxFile, Inode
 from repro.mem.latency import MemoryModel
 from repro.mem.physmem import Medium
-from repro.sim.engine import Compute
+from repro.obs import Counter, CostDomain, charge
 from repro.sim.stats import Stats
 
 #: (inode, [(phys_block, length), ...]) — fired after (de)allocation.
@@ -84,7 +84,8 @@ class FileSystem:
     # ------------------------------------------------------------------
     def open(self, path: str, create: bool = False):
         """Open (optionally creating) a file; returns a DaxFile."""
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "open",
+                     self.costs.syscall_crossing)
         if create and path not in self.vfs:
             inode = self.vfs.create(path)
             yield from self._metadata_update()
@@ -94,16 +95,17 @@ class FileSystem:
         cost = self.costs.vfs_open_warm + hook_cycles
         if not warm:
             cost += self.costs.vfs_open_cold_extra
-            self.stats.add("vfs.cold_opens")
+            self.stats.add(Counter.VFS_COLD_OPENS)
         else:
-            self.stats.add("vfs.warm_opens")
-        yield Compute(cost)
+            self.stats.add(Counter.VFS_WARM_OPENS)
+        yield charge(CostDomain.SYSCALL, "vfs-open", cost)
         return DaxFile(inode, self)
 
     def close(self, file: DaxFile):
         file._check_open()
         file.closed = True
-        yield Compute(self.costs.syscall_crossing + self.costs.vfs_close)
+        yield charge(CostDomain.SYSCALL, "close",
+                     self.costs.syscall_crossing + self.costs.vfs_close)
 
     # ------------------------------------------------------------------
     # Data syscalls.
@@ -118,7 +120,8 @@ class FileSystem:
         file._check_open()
         if offset + nbytes > file.inode.size:
             nbytes = max(0, file.inode.size - offset)
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "read",
+                     self.costs.syscall_crossing)
         if nbytes == 0:
             return 0
         extents = self._extents_touched(file.inode, offset, nbytes)
@@ -127,8 +130,9 @@ class FileSystem:
         if random_access:
             copy += self.mem.load_latency(Medium.PMEM)
         copy = max(copy, self._device_wait(nbytes, 0))
-        yield Compute(lookup + copy)
-        self.stats.add("fs.read_bytes", nbytes)
+        yield charge(CostDomain.SYSCALL, "extent-lookup", lookup)
+        yield charge(CostDomain.COPY, "read-copy", copy)
+        self.stats.add(Counter.FS_READ_BYTES, nbytes)
         return nbytes
 
     def write(self, file: DaxFile, offset: int, nbytes: int):
@@ -139,7 +143,8 @@ class FileSystem:
         file._check_open()
         if nbytes <= 0:
             raise InvalidArgumentError("write size must be positive")
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "write",
+                     self.costs.syscall_crossing)
         new_end = offset + nbytes
         if new_end > file.inode.block_count * BLOCK_SIZE:
             needed = -(-new_end // BLOCK_SIZE) - file.inode.block_count
@@ -150,16 +155,18 @@ class FileSystem:
         copy = self.mem.memcpy(nbytes, Medium.DRAM, Medium.PMEM,
                                kernel=True, ntstore=True)
         copy = max(copy, self._device_wait(0, nbytes))
-        yield Compute(lookup + copy)
+        yield charge(CostDomain.SYSCALL, "extent-lookup", lookup)
+        yield charge(CostDomain.COPY, "write-copy", copy)
         yield from self._metadata_update()
         file.inode.size = max(file.inode.size, new_end)
-        self.stats.add("fs.write_bytes", nbytes)
+        self.stats.add(Counter.FS_WRITE_BYTES, nbytes)
         return nbytes
 
     def fallocate(self, file: DaxFile, new_size: int):
         """Reserve blocks up to ``new_size`` (zeroing per FS policy)."""
         file._check_open()
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "fallocate",
+                     self.costs.syscall_crossing)
         needed = -(-new_size // BLOCK_SIZE) - file.inode.block_count
         if needed > 0:
             yield from self._allocate(file.inode, needed,
@@ -171,17 +178,20 @@ class FileSystem:
         """fsync after write() syscalls: the data is already durable
         (nt-stores), so only metadata needs committing."""
         file._check_open()
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "fsync",
+                     self.costs.syscall_crossing)
         yield from self._commit_sync()
-        self.stats.add("fs.fsync_calls")
+        self.stats.add(Counter.FS_FSYNC_CALLS)
 
     def truncate(self, file: DaxFile, new_size: int):
         file._check_open()
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "truncate",
+                     self.costs.syscall_crossing)
         yield from self._truncate_inode(file.inode, new_size)
 
     def unlink(self, path: str):
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "unlink",
+                     self.costs.syscall_crossing)
         inode = self.vfs.lookup(path)
         yield from self._truncate_inode(inode, 0)
         self.vfs.remove(path)
@@ -211,7 +221,7 @@ class FileSystem:
         if self.mapsync_needs_commit:
             yield from self._commit_sync()
         else:
-            yield Compute(0.0)
+            yield charge(CostDomain.JOURNAL, "mapsync-noop", 0.0)
 
     # ------------------------------------------------------------------
     # Internals shared by subclasses.
@@ -233,8 +243,9 @@ class FileSystem:
             remaining -= chunk
         for start, length in runs:
             inode.extents.append(start, length)
-        yield Compute(self.costs.block_alloc * len(runs))
-        self.stats.add("fs.blocks_allocated", nblocks)
+        yield charge(CostDomain.SYSCALL, "block-alloc",
+                     self.costs.block_alloc * len(runs))
+        self.stats.add(Counter.FS_BLOCKS_ALLOCATED, nblocks)
         if zero:
             dirty = 0
             for start, length in runs:
@@ -243,9 +254,9 @@ class FileSystem:
             if dirty:
                 cost = self.mem.zero(dirty * BLOCK_SIZE)
                 cost = max(cost, self._device_wait(0, dirty * BLOCK_SIZE))
-                self.stats.add("fs.zeroing_cycles", cost)
-                self.stats.add("fs.blocks_zeroed_sync", dirty)
-                yield Compute(cost)
+                self.stats.add(Counter.FS_ZEROING_CYCLES, cost)
+                self.stats.add(Counter.FS_BLOCKS_ZEROED_SYNC, dirty)
+                yield charge(CostDomain.ZEROING, "sync-zero", cost)
         else:
             for start, length in runs:
                 self.zeroed.remove(start, start + length)
@@ -253,8 +264,9 @@ class FileSystem:
         for hook in self.alloc_hooks:
             hook_cycles += hook(inode, runs) or 0.0
         if hook_cycles:
-            self.stats.add("fs.filetable_maintenance_cycles", hook_cycles)
-            yield Compute(hook_cycles)
+            self.stats.add(Counter.FS_FILETABLE_MAINTENANCE_CYCLES,
+                           hook_cycles)
+            yield charge(CostDomain.FILETABLE, "alloc-hooks", hook_cycles)
 
     def _truncate_inode(self, inode: Inode, new_size: int):
         for barrier in self.free_barriers:
@@ -264,16 +276,18 @@ class FileSystem:
         inode.size = min(inode.size, new_size)
         if not freed:
             return
-        yield Compute(self.costs.block_free * len(freed))
-        self.stats.add("fs.blocks_freed", sum(l for _s, l in freed))
+        yield charge(CostDomain.SYSCALL, "block-free",
+                     self.costs.block_free * len(freed))
+        self.stats.add(Counter.FS_BLOCKS_FREED, sum(l for _s, l in freed))
         hook_cycles = 0.0
         for hook in self.free_hooks:
             hook_cycles += hook(inode, freed) or 0.0
         if hook_cycles:
-            self.stats.add("fs.filetable_maintenance_cycles", hook_cycles)
-            yield Compute(hook_cycles)
+            self.stats.add(Counter.FS_FILETABLE_MAINTENANCE_CYCLES,
+                           hook_cycles)
+            yield charge(CostDomain.FILETABLE, "free-hooks", hook_cycles)
         if self.free_interceptor is not None and self.free_interceptor(freed):
-            self.stats.add("fs.frees_intercepted", len(freed))
+            self.stats.add(Counter.FS_FREES_INTERCEPTED, len(freed))
         else:
             for start, length in freed:
                 self.device.free(start, length)

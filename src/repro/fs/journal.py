@@ -17,7 +17,7 @@ Two commit flavours matter for the paper's results:
 from __future__ import annotations
 
 from repro.config import CostModel
-from repro.sim.engine import Compute
+from repro.obs import Counter, CostDomain, charge
 from repro.sim.stats import Stats
 
 
@@ -36,11 +36,13 @@ class Journal:
     def metadata_update(self):
         """Join the running transaction (amortised commit share)."""
         self.batched_updates += 1
-        self.stats.add("journal.batched_updates")
-        yield Compute(self.costs.journal_commit / Journal.BATCH_FACTOR)
+        self.stats.add(Counter.JOURNAL_BATCHED_UPDATES)
+        yield charge(CostDomain.JOURNAL, "batched-commit",
+                     self.costs.journal_commit / Journal.BATCH_FACTOR)
 
     def commit_sync(self):
         """Force the running transaction to commit synchronously."""
         self.sync_commits += 1
-        self.stats.add("journal.sync_commits")
-        yield Compute(self.costs.journal_commit)
+        self.stats.add(Counter.JOURNAL_SYNC_COMMITS)
+        yield charge(CostDomain.JOURNAL, "sync-commit",
+                     self.costs.journal_commit)

@@ -21,7 +21,7 @@ from repro.fs.base import FileSystem
 from repro.fs.block import BlockDevice
 from repro.fs.vfs import VFS
 from repro.mem.latency import MemoryModel
-from repro.sim.engine import Compute
+from repro.obs import Counter, CostDomain, charge
 from repro.sim.stats import Stats
 
 
@@ -40,9 +40,10 @@ class Nova(FileSystem):
 
     def _metadata_update(self):
         self.log_appends += 1
-        self.stats.add("nova.log_appends")
-        yield Compute(self.costs.nova_log_append)
+        self.stats.add(Counter.NOVA_LOG_APPENDS)
+        yield charge(CostDomain.JOURNAL, "nova-log-append",
+                     self.costs.nova_log_append)
 
     def _commit_sync(self):
         # In-place synchronous metadata: nothing deferred to flush.
-        yield Compute(0.0)
+        yield charge(CostDomain.JOURNAL, "nova-commit-noop", 0.0)

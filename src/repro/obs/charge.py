@@ -1,0 +1,44 @@
+"""The typed cost-charging effect: ``yield charge(domain, event, cycles)``.
+
+:class:`Charge` is the instrumented counterpart of the engine's bare
+``Compute`` effect.  It burns the same simulated time but carries a
+:class:`~repro.obs.domains.CostDomain` and a short event name, which the
+engine records into its per-thread, per-domain
+:class:`~repro.obs.ledger.Ledger` as the effect is interpreted.
+
+Kernel layers outside ``repro/sim`` and ``repro/obs`` must charge time
+through this API — bare ``Compute`` yields are reserved for the engine
+itself, its tests, and truly unattributable compute (which the engine
+books under ``userspace/uncharged`` so nothing escapes the ledger).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.obs.domains import CostDomain
+
+
+class Charge:
+    """Effect: consume ``cycles`` of CPU time, attributed to a domain."""
+
+    __slots__ = ("cycles", "domain", "event")
+
+    def __init__(self, domain: CostDomain, event: str, cycles: float):
+        if not isinstance(domain, CostDomain):
+            raise SimulationError(f"charge needs a CostDomain, "
+                                  f"got {domain!r}")
+        if cycles < 0:
+            raise SimulationError(
+                f"negative charge for {domain.value}/{event}: {cycles}")
+        self.domain = domain
+        self.event = event
+        self.cycles = cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Charge({self.domain.value}/{self.event}, "
+                f"{self.cycles:.0f})")
+
+
+def charge(domain: CostDomain, event: str, cycles: float) -> Charge:
+    """Build a :class:`Charge` effect (the ergonomic yield helper)."""
+    return Charge(domain, event, cycles)

@@ -1,0 +1,90 @@
+"""Typed counter names replacing the untyped string-counter style.
+
+Every counter the kernel bumps is declared here once; ``Stats`` accepts
+either a :class:`Counter` member or a plain string (external consumers —
+benches, JSON readers — keep using the string values, which are the
+enum values verbatim, so ``r.counters["vm.faults"]`` still works).
+
+Declaring a counter buys three things: typos become ``AttributeError``
+at import time instead of silently-zero counters at read time, grep
+finds every producer and consumer of a metric through one symbol, and
+the taxonomy below documents what the simulator can be asked.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Counter(enum.Enum):
+    """Every event counter the kernel layers may bump."""
+
+    # -- TLB / shootdowns (paging/tlb.py) ---------------------------------
+    TLB_FULL_FLUSHES = "tlb.full_flushes"
+    TLB_RANGE_FLUSHES = "tlb.range_flushes"
+    TLB_PAGES_INVALIDATED = "tlb.pages_invalidated"
+    TLB_IPIS = "tlb.ipis"
+    TLB_SHOOTDOWNS = "tlb.shootdowns"
+
+    # -- VFS / file systems (fs/) -----------------------------------------
+    VFS_COLD_OPENS = "vfs.cold_opens"
+    VFS_WARM_OPENS = "vfs.warm_opens"
+    FS_READ_BYTES = "fs.read_bytes"
+    FS_WRITE_BYTES = "fs.write_bytes"
+    FS_FSYNC_CALLS = "fs.fsync_calls"
+    FS_BLOCKS_ALLOCATED = "fs.blocks_allocated"
+    FS_ZEROING_CYCLES = "fs.zeroing_cycles"
+    FS_BLOCKS_ZEROED_SYNC = "fs.blocks_zeroed_sync"
+    FS_FILETABLE_MAINTENANCE_CYCLES = "fs.filetable_maintenance_cycles"
+    FS_BLOCKS_FREED = "fs.blocks_freed"
+    FS_FREES_INTERCEPTED = "fs.frees_intercepted"
+    NOVA_LOG_APPENDS = "nova.log_appends"
+    JOURNAL_BATCHED_UPDATES = "journal.batched_updates"
+    JOURNAL_SYNC_COMMITS = "journal.sync_commits"
+
+    # -- Virtual memory (vm/mm.py, vm/dirty.py) ---------------------------
+    VM_MMAP_CALLS = "vm.mmap_calls"
+    VM_MUNMAP_CALLS = "vm.munmap_calls"
+    VM_MPROTECT_CALLS = "vm.mprotect_calls"
+    VM_MREMAP_CALLS = "vm.mremap_calls"
+    VM_MSYNC_CALLS = "vm.msync_calls"
+    VM_MSYNC_FLUSHED = "vm.msync_flushed"
+    VM_MSYNC_NOOP = "vm.msync_noop"
+    VM_FAULTS = "vm.faults"
+    VM_PTE_FAULTS = "vm.pte_faults"
+    VM_HUGE_FAULTS = "vm.huge_faults"
+    VM_DIRTY_FAULTS = "vm.dirty_faults"
+    VM_UNTRACKED_WRITES = "vm.untracked_writes"
+    VM_ACCESS_BYTES = "vm.access_bytes"
+    VM_TLB_MISSES = "vm.tlb_misses"
+    VM_WALK_CYCLES = "vm.walk_cycles"
+    VM_FORKS = "vm.forks"
+
+    # -- DaxVM core (core/) ------------------------------------------------
+    DAXVM_MMAP_CALLS = "daxvm.mmap_calls"
+    DAXVM_MUNMAP_CALLS = "daxvm.munmap_calls"
+    DAXVM_ATTACHMENTS = "daxvm.attachments"
+    DAXVM_USER_FLUSH_BYTES = "daxvm.user_flush_bytes"
+    DAXVM_VOLATILE_REBUILDS = "daxvm.volatile_rebuilds"
+    DAXVM_VOLATILE_EVICTIONS = "daxvm.volatile_evictions"
+    DAXVM_TABLE_MIGRATIONS = "daxvm.table_migrations"
+    DAXVM_EPHEMERAL_ALLOCS = "daxvm.ephemeral_allocs"
+    DAXVM_EPHEMERAL_REGION_RECYCLES = "daxvm.ephemeral_region_recycles"
+    DAXVM_PREZERO_QUEUED_BLOCKS = "daxvm.prezero_queued_blocks"
+    DAXVM_BLOCKS_PREZEROED = "daxvm.blocks_prezeroed"
+    DAXVM_UNMAPS_DEFERRED = "daxvm.unmaps_deferred"
+    DAXVM_ZOMBIE_REAPS = "daxvm.zombie_reaps"
+    DAXVM_ZOMBIE_PAGES_REAPED = "daxvm.zombie_pages_reaped"
+    DAXVM_FORCED_SYNC_UNMAPS = "daxvm.forced_sync_unmaps"
+    DAXVM_RECOVERY_PTES = "daxvm.recovery_ptes"
+
+    # -- Baselines ---------------------------------------------------------
+    LATR_LAZY_INVALIDATIONS = "latr.lazy_invalidations"
+
+    def __str__(self) -> str:  # pragma: no cover - display aid
+        return self.value
+
+
+def counter_key(name: object) -> str:
+    """Normalize a Counter member or raw string to the string key."""
+    return getattr(name, "value", name)  # type: ignore[return-value]

@@ -1,0 +1,65 @@
+"""The kernel-wide cost-domain taxonomy.
+
+Every simulated cycle the kernel charges is attributed to exactly one
+:class:`CostDomain`, so the engine can answer the paper's central
+questions ("what fraction of an append is block zeroing?", "how much
+time went to page walks with PMem-resident tables?") directly from its
+ledger instead of each benchmark re-deriving the split by differencing
+configurations.
+
+The taxonomy follows the paper's own cycle-attribution axes:
+
+===============  ==========================================================
+domain           what it covers
+===============  ==========================================================
+``syscall``      kernel crossings, VFS paths, VMA bookkeeping, allocator
+                 metadata (everything §III-C calls "software overhead")
+``fault``        page-fault entry, PTE/PMD installs, dirty-tracking faults
+``walk``         hardware page-walk cycles charged on TLB misses (Table II)
+``tlb_shootdown``IPI rounds, invalidations, refill penalties, stolen
+                 handler cycles on remote cores (§III-A3)
+``journal``      jbd2 transaction commits and NOVA log appends (§III-B)
+``zeroing``      synchronous block zeroing and the pre-zero kthread (§III-B)
+``filetable``    DaxVM file-table builds, attachments and maintenance
+``lock_wait``    cycles blocked on or acquiring simulated locks (Fig. 8a)
+``copy``         kernel data copies and durability flushes (read/write/msync)
+``userspace``    application compute and in-place user data access
+===============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CostDomain(enum.Enum):
+    """Where a charged cycle belongs in the kernel-cost taxonomy."""
+
+    SYSCALL = "syscall"
+    FAULT = "fault"
+    WALK = "walk"
+    TLB_SHOOTDOWN = "tlb_shootdown"
+    JOURNAL = "journal"
+    ZEROING = "zeroing"
+    FILETABLE = "filetable"
+    LOCK_WAIT = "lock_wait"
+    COPY = "copy"
+    USERSPACE = "userspace"
+
+    def __str__(self) -> str:  # pragma: no cover - display aid
+        return self.value
+
+
+#: Stable presentation order for breakdown reports.
+DOMAIN_ORDER = [
+    CostDomain.USERSPACE,
+    CostDomain.COPY,
+    CostDomain.ZEROING,
+    CostDomain.SYSCALL,
+    CostDomain.FAULT,
+    CostDomain.WALK,
+    CostDomain.TLB_SHOOTDOWN,
+    CostDomain.JOURNAL,
+    CostDomain.FILETABLE,
+    CostDomain.LOCK_WAIT,
+]

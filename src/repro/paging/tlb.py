@@ -23,7 +23,8 @@ import enum
 from typing import Iterable, Set
 
 from repro.config import CostModel, MachineConfig
-from repro.sim.engine import Compute, Engine
+from repro.obs import Counter, CostDomain, charge
+from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 
 
@@ -101,13 +102,13 @@ class ShootdownController:
             # than the unmapped page count.
             refill = self.costs.tlb_refill_penalty * min(
                 npages, self.costs.full_flush_hot_entries)
-            self.stats.add("tlb.full_flushes")
+            self.stats.add(Counter.TLB_FULL_FLUSHES)
         else:
             local_cost = self.costs.tlb_invlpg * npages
             handler_cost = self.costs.tlb_invlpg * npages
             refill = 0.0
-            self.stats.add("tlb.range_flushes")
-            self.stats.add("tlb.pages_invalidated", npages)
+            self.stats.add(Counter.TLB_RANGE_FLUSHES)
+            self.stats.add(Counter.TLB_PAGES_INVALIDATED, npages)
 
         initiator_cost = local_cost + refill
         if remote:
@@ -115,6 +116,7 @@ class ShootdownController:
                                + self.costs.ipi_per_core * len(remote))
             self.engine.interrupt_cores(
                 remote, self.costs.ipi_responder + handler_cost)
-            self.stats.add("tlb.ipis", len(remote))
-        self.stats.add("tlb.shootdowns")
-        yield Compute(initiator_cost)
+            self.stats.add(Counter.TLB_IPIS, len(remote))
+        self.stats.add(Counter.TLB_SHOOTDOWNS)
+        yield charge(CostDomain.TLB_SHOOTDOWN, "initiate-flush",
+                     initiator_cost)

@@ -8,7 +8,11 @@ resumes the generator with the effect's result.  Three effects exist:
     Burn CPU time.  The thread resumes ``cycles`` later.  Any interrupt
     cycles stolen from the thread's core (e.g. by TLB-shootdown IPIs)
     are added on top, which is how remote-core interference appears in
-    measured throughput.
+    measured throughput.  Kernel layers should yield the instrumented
+    variant, ``repro.obs.charge(domain, event, cycles)``, which burns
+    the same time but attributes it in the engine's :class:`Ledger`;
+    bare ``Compute`` is reserved for the engine's own tests and books
+    under ``userspace/uncharged``.
 
 ``Block()``
     Suspend until another thread wakes this one via ``Wake``.  Used by
@@ -34,6 +38,7 @@ import itertools
 from typing import Any, Generator, Iterable, Optional
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs import Charge, CostDomain, Ledger
 
 KernelGen = Generator[Any, Any, Any]
 
@@ -169,6 +174,11 @@ class Engine:
         self._live_foreground = 0
         self._next_core = 0
         self.events_processed = 0
+        #: Per-thread, per-domain cycle attribution (see repro.obs).
+        self.ledger = Ledger()
+        #: Every lock constructed against this engine registers itself
+        #: here so contention reports can enumerate them.
+        self.locks: list = []
 
     # -- thread management ------------------------------------------------
     def spawn(self, gen: KernelGen, core: Optional[int] = None,
@@ -206,9 +216,20 @@ class Engine:
             return
         thread._wake_value = None
 
-        if isinstance(effect, Compute):
-            cycles = effect.cycles + thread.core.drain_stolen(effect.cycles)
-            self._schedule(thread, cycles)
+        if isinstance(effect, (Compute, Charge)):
+            stolen = thread.core.drain_stolen(effect.cycles)
+            if isinstance(effect, Charge):
+                self.ledger.record(thread.name, effect.domain,
+                                   effect.event, effect.cycles)
+            else:
+                self.ledger.record(thread.name, CostDomain.USERSPACE,
+                                   "uncharged", effect.cycles)
+            if stolen:
+                # Time stolen by remote shootdown IPIs belongs to the
+                # shootdown, whatever the interrupted thread was doing.
+                self.ledger.record(thread.name, CostDomain.TLB_SHOOTDOWN,
+                                   "ipi-stolen", stolen)
+            self._schedule(thread, effect.cycles + stolen)
         elif isinstance(effect, Block):
             thread.state = SimThread.BLOCKED
         elif isinstance(effect, Wake):

@@ -11,16 +11,25 @@ All primitives charge a small uncontended cost and an extra cache-line
 bounce when the lock word was last touched by a different core,
 following the usual cost structure of spinlocks on cache-coherent x86.
 
+Each lock keeps first-class wait-vs-hold accounting: cycles spent
+blocked on the lock (``wait``, also attributed to the engine ledger's
+``lock_wait`` domain) versus cycles the lock was actually held
+(``hold``).  A contended lock with short holds and long waits is a
+convoy; long holds point at the critical section itself — the
+distinction Fig. 8a turns on.  Locks register themselves with their
+engine so contention reports can enumerate them.
+
 Every acquire/release is a generator to be driven with ``yield from``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 from repro.config import CostModel
 from repro.errors import SimulationError
+from repro.obs import CostDomain, charge
 from repro.sim.engine import Block, Compute, Engine, SimThread, Wake
 
 
@@ -35,6 +44,10 @@ class _LockBase:
         self.acquisitions = 0
         self.contended_acquisitions = 0
         self.total_wait_cycles = 0.0
+        self.hold_cycles = 0.0
+        registry = getattr(engine, "locks", None)
+        if registry is not None:
+            registry.append(self)
 
     def _current(self) -> SimThread:
         thread = getattr(self.engine, "current", None)
@@ -49,11 +62,35 @@ class _LockBase:
         self._last_core = thread.core.index
         return cost
 
+    def _record_wait(self, thread: SimThread, waited: float) -> None:
+        """Book blocked time both locally and in the engine ledger.
+
+        Blocked time never passes through a ``Charge`` effect (the
+        thread is suspended, not computing), so the lock attributes it
+        to the ``lock_wait`` domain directly."""
+        self.total_wait_cycles += waited
+        ledger = getattr(self.engine, "ledger", None)
+        if ledger is not None:
+            ledger.record(thread.name, CostDomain.LOCK_WAIT,
+                          f"{self.name}-blocked", waited)
+
     @property
     def contention_ratio(self) -> float:
         if not self.acquisitions:
             return 0.0
         return self.contended_acquisitions / self.acquisitions
+
+    def report(self) -> Dict[str, float]:
+        """Wait-vs-hold summary for contention reports (Fig. 8a)."""
+        return {
+            "name": self.name,
+            "kind": self.__class__.__name__,
+            "acquisitions": self.acquisitions,
+            "contended": self.contended_acquisitions,
+            "contention_ratio": self.contention_ratio,
+            "wait_cycles": self.total_wait_cycles,
+            "hold_cycles": self.hold_cycles,
+        }
 
 
 class Spinlock(_LockBase):
@@ -62,28 +99,35 @@ class Spinlock(_LockBase):
     def __init__(self, engine: Engine, costs: CostModel, name: str = ""):
         super().__init__(engine, costs, name)
         self._held = False
+        self._held_since = 0.0
         self._waiters: Deque[SimThread] = deque()
 
     def acquire(self):
         thread = self._current()
-        yield Compute(self._entry_cost(thread))
+        yield charge(CostDomain.LOCK_WAIT, f"{self.name}-acquire",
+                     self._entry_cost(thread))
         self.acquisitions += 1
         if not self._held:
             self._held = True
+            self._held_since = self.engine.now
             return
         self.contended_acquisitions += 1
         start = self.engine.now
         self._waiters.append(thread)
         yield Block()
-        self.total_wait_cycles += self.engine.now - start
+        self._record_wait(thread, self.engine.now - start)
 
     def release(self):
         if not self._held:
             raise SimulationError(f"{self.name}: release while unlocked")
+        self.hold_cycles += self.engine.now - self._held_since
         if self._waiters:
             # Hand the lock directly to the next waiter (ticket order);
-            # the handoff pays a cache-line transfer.
+            # the handoff pays a cache-line transfer.  The new hold
+            # starts at the handoff, so handoff latency counts as wait,
+            # not hold.
             waiter = self._waiters.popleft()
+            self._held_since = self.engine.now + self.costs.lock_bounce
             yield Wake(waiter, delay=self.costs.lock_bounce)
         else:
             self._held = False
@@ -123,6 +167,12 @@ class RWSemaphore(_LockBase):
         self._queue: Deque[Tuple[SimThread, str]] = deque()
         self.read_acquisitions = 0
         self.write_acquisitions = 0
+        self.read_wait_cycles = 0.0
+        self.write_wait_cycles = 0.0
+        self.read_hold_cycles = 0.0
+        self.write_hold_cycles = 0.0
+        self._write_since = 0.0
+        self._read_since = 0.0
 
     # -- acquisition -------------------------------------------------------
     def _can_grant(self, kind: str) -> bool:
@@ -134,16 +184,23 @@ class RWSemaphore(_LockBase):
         return not any(k == RWSemaphore.WRITE for _t, k in self._queue)
 
     def _grant(self, kind: str) -> None:
+        now = self.engine.now
         if kind == RWSemaphore.WRITE:
             self._writer_active = True
+            self._write_since = now
             self.write_acquisitions += 1
         else:
+            if self._active_readers == 0:
+                # Reader hold time is the span any reader holds the
+                # semaphore (overlapping readers count once).
+                self._read_since = now
             self._active_readers += 1
             self.read_acquisitions += 1
 
     def _acquire(self, kind: str):
         thread = self._current()
-        yield Compute(self._entry_cost(thread))
+        yield charge(CostDomain.LOCK_WAIT, f"{self.name}-acquire",
+                     self._entry_cost(thread))
         self.acquisitions += 1
         if self._can_grant(kind):
             self._grant(kind)
@@ -152,7 +209,12 @@ class RWSemaphore(_LockBase):
         start = self.engine.now
         self._queue.append((thread, kind))
         yield Block()
-        self.total_wait_cycles += self.engine.now - start
+        waited = self.engine.now - start
+        self._record_wait(thread, waited)
+        if kind == RWSemaphore.WRITE:
+            self.write_wait_cycles += waited
+        else:
+            self.read_wait_cycles += waited
         # The releaser performed the grant on our behalf.
 
     def acquire_read(self):
@@ -184,6 +246,10 @@ class RWSemaphore(_LockBase):
         if self._active_readers <= 0:
             raise SimulationError(f"{self.name}: read release underflow")
         self._active_readers -= 1
+        if self._active_readers == 0:
+            held = self.engine.now - self._read_since
+            self.read_hold_cycles += held
+            self.hold_cycles += held
         yield from self._wake_eligible()
         yield Compute(0.0)
 
@@ -191,8 +257,23 @@ class RWSemaphore(_LockBase):
         if not self._writer_active:
             raise SimulationError(f"{self.name}: write release underflow")
         self._writer_active = False
+        held = self.engine.now - self._write_since
+        self.write_hold_cycles += held
+        self.hold_cycles += held
         yield from self._wake_eligible()
         yield Compute(0.0)
+
+    def report(self) -> Dict[str, float]:
+        out = super().report()
+        out.update({
+            "read_acquisitions": self.read_acquisitions,
+            "write_acquisitions": self.write_acquisitions,
+            "read_wait_cycles": self.read_wait_cycles,
+            "write_wait_cycles": self.write_wait_cycles,
+            "read_hold_cycles": self.read_hold_cycles,
+            "write_hold_cycles": self.write_hold_cycles,
+        })
+        return out
 
     @property
     def writer_active(self) -> bool:

@@ -41,6 +41,7 @@ from repro.fs.xfs import XfsDax
 from repro.fs.vfs import VFS
 from repro.mem.latency import MemoryModel, SharedBandwidth
 from repro.mem.physmem import PhysicalMemory
+from repro.obs import Ledger, Tracer
 from repro.sim.engine import Engine, KernelGen, SimThread
 from repro.sim.stats import Stats
 from repro.vm.mm import MMStruct
@@ -90,8 +91,24 @@ class System:
                 f"unknown fs_type {fs_type!r}; use one of {set(_FS_TYPES)}")
         self.fs = fs_cls(self.device, self.vfs, costs, self.mem, self.stats)
         self.fs.engine = self.engine
+        self.trace = self._make_tracer()
         self._filetables: Optional[FileTableManager] = None
         self._process_count = 0
+
+    def _make_tracer(self, ring: int = 256) -> Tracer:
+        """Span tracer bound to the current engine's clock/scheduler."""
+        return Tracer(
+            clock=lambda: self.engine.now,
+            current=lambda: (self.engine.current.name
+                             if self.engine.current is not None else "main"),
+            stats=self.stats,
+            ring=ring,
+        )
+
+    @property
+    def ledger(self) -> Ledger:
+        """The engine's per-domain cycle-attribution ledger."""
+        return self.engine.ledger
 
     # -- processes -----------------------------------------------------------
     def new_process(self, name: str = "", aslr_seed: int = 0) -> Process:
@@ -158,6 +175,9 @@ class System:
             self.vfs.inode_cache.evict_all()
         self.engine = Engine(len(self.engine.cores))
         self.fs.engine = self.engine
+        # The tracer's clock closes over ``self.engine``, so it follows
+        # the new engine automatically; open spans died with the boot.
+        self.trace.reset()
         self.mem.shared = SharedBandwidth(self.costs.pmem_total_read_bw,
                                           self.costs.pmem_total_write_bw,
                                           self.costs.machine.freq_hz)

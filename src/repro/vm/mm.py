@@ -29,7 +29,7 @@ exact for the single-threaded large-file workloads that use them.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.config import CostModel
 from repro.errors import InvalidArgumentError, NotSupportedError
@@ -39,9 +39,10 @@ from repro.mem.latency import MemoryModel
 from repro.mem.physmem import Medium, PhysicalMemory
 from repro.paging.pagetable import PMD_LEVEL, PageTable
 from repro.paging.flags import PageFlags
+from repro.obs import Counter, CostDomain, charge
 from repro.paging.tlb import AccessPattern, ShootdownController, TLBModel
 from repro.paging.walker import PageWalker
-from repro.sim.engine import Compute, Engine
+from repro.sim.engine import Engine
 from repro.sim.locks import RWSemaphore
 from repro.sim.stats import Stats
 from repro.vm.dirty import DirtyTracker
@@ -107,9 +108,10 @@ class MMStruct:
         if length <= 0:
             raise InvalidArgumentError("mmap length must be positive")
         length = -(-length // PAGE_SIZE) * PAGE_SIZE
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "mmap",
+                     self.costs.syscall_crossing)
         yield from self.mmap_sem.acquire_write()
-        yield Compute(self.costs.vma_alloc)
+        yield charge(CostDomain.SYSCALL, "vma-alloc", self.costs.vma_alloc)
         start = self.layout.allocate(length)
         vma = VMA(start, start + length, inode, offset, prot, flags)
         vma.fs = fs
@@ -123,23 +125,25 @@ class MMStruct:
             yield from self._populate_locked(
                 vma, 0, vma.num_pages, write=bool(prot & Protection.WRITE))
             yield from self.mmap_sem.release_read()
-        self.stats.add("vm.mmap_calls")
+        self.stats.add(Counter.VM_MMAP_CALLS)
         return vma
 
     def munmap(self, vma: VMA):
         """Synchronously unmap a VMA (the POSIX-faithful path)."""
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "munmap",
+                     self.costs.syscall_crossing)
         yield from self.mmap_sem.acquire_write()
         yield from self._teardown_locked(vma)
         yield from self.mmap_sem.release_write()
-        self.stats.add("vm.munmap_calls")
+        self.stats.add(Counter.VM_MUNMAP_CALLS)
 
     def _teardown_locked(self, vma: VMA, flush: bool = True):
         """Clear translations, flush TLBs, drop the VMA (sem held)."""
         pages = self.page_table.clear_range(vma.start, vma.length)
         teardown = pages * self.costs.pte_teardown
         teardown += len(vma.attachments) * self.costs.pmd_attach
-        yield Compute(teardown + self.costs.vma_free)
+        yield charge(CostDomain.SYSCALL, "pte-teardown",
+                     teardown + self.costs.vma_free)
         if flush and pages + len(vma.attachments) > 0:
             flush_pages = pages + len(vma.attachments) * PAGES_PER_PMD
             yield from self.shootdowns.flush(
@@ -192,7 +196,7 @@ class MMStruct:
             frame = fs.frame_for_page(vma.inode, file_region_page)
             self.page_table.map_page(vaddr_region, frame, flags, PMD_LEVEL)
             vma.huge_regions.add(region)
-            self.stats.add("vm.huge_faults")
+            self.stats.add(Counter.VM_HUGE_FAULTS)
             return self.costs.fault_dax_pmd + lookup, True
         frame = fs.frame_for_page(vma.inode, file_page)
         if frame is None:
@@ -201,12 +205,13 @@ class MMStruct:
                 f"(file page {file_page})")
         self.page_table.map_page(vma.start + page * PAGE_SIZE, frame, flags)
         vma.populated.add(page)
-        self.stats.add("vm.pte_faults")
+        self.stats.add(Counter.VM_PTE_FAULTS)
         return self.costs.fault_dax_pte + lookup, False
 
     def fault(self, vma: VMA, page: int, write: bool):
         """One demand fault, fully simulated through the semaphore."""
-        yield Compute(self.costs.fault_entry)
+        yield charge(CostDomain.FAULT, "fault-entry",
+                     self.costs.fault_entry)
         yield from self.mmap_sem.acquire_read()
         cost = 0.0
         if not self._page_state(vma, page):
@@ -215,9 +220,9 @@ class MMStruct:
             cost += install
         if write and vma.tracks_dirty:
             cost += yield from self._dirty_fault_locked(vma, page)
-        yield Compute(cost)
+        yield charge(CostDomain.FAULT, "fault-install", cost)
         yield from self.mmap_sem.release_read()
-        self.stats.add("vm.faults")
+        self.stats.add(Counter.VM_FAULTS)
 
     def _dirty_fault_locked(self, vma: VMA, page: int):
         """Write-protect fault: tag page cache, maybe commit metadata."""
@@ -229,7 +234,7 @@ class MMStruct:
         vma.writable.add(track_key)
         self.page_cache.mark(vma.inode, gindex)
         cost = self.costs.dirty_track_per_page
-        self.stats.add("vm.dirty_faults")
+        self.stats.add(Counter.VM_DIRTY_FAULTS)
         if vma.flags & MapFlags.SYNC:
             fs: FileSystem = vma.fs
             yield from fs.mapsync_fault()
@@ -257,7 +262,7 @@ class MMStruct:
             cost += install
             installs += 1
             page += PAGES_PER_PMD - page % PAGES_PER_PMD if huge else 1
-        yield Compute(cost)
+        yield charge(CostDomain.FAULT, "bulk-install", cost)
         return installs
 
     # ------------------------------------------------------------------
@@ -308,8 +313,9 @@ class MMStruct:
                 installs = yield from self._populate_locked(
                     vma, first_page, npages, write=False)
                 yield from self.mmap_sem.release_read()
-                yield Compute(self.costs.fault_entry * installs)
-                self.stats.add("vm.faults", installs)
+                yield charge(CostDomain.FAULT, "fault-entry",
+                             self.costs.fault_entry * installs)
+                self.stats.add(Counter.VM_FAULTS, installs)
 
         # -- dirty-tracking write faults -----------------------------------
         if write and vma.tracks_dirty:
@@ -317,7 +323,7 @@ class MMStruct:
             self.page_cache.add_bytes(
                 vma.inode, (touch_bytes or length) * (ops or 1))
         elif write:
-            self.stats.add("vm.untracked_writes")
+            self.stats.add(Counter.VM_UNTRACKED_WRITES)
 
         # -- data movement ---------------------------------------------------
         nbytes = touch_bytes if touch_bytes is not None else length
@@ -352,8 +358,10 @@ class MMStruct:
         # -- TLB misses --------------------------------------------------------
         tlb_cost = self._tlb_cost(vma, first_page, npages, pattern,
                                   num_ops, nbytes)
-        yield Compute(data + tlb_cost)
-        self.stats.add("vm.access_bytes", nbytes * num_ops)
+        yield charge(CostDomain.COPY if copy else CostDomain.USERSPACE,
+                     "data-access", data)
+        yield charge(CostDomain.WALK, "tlb-walk", tlb_cost)
+        self.stats.add(Counter.VM_ACCESS_BYTES, nbytes * num_ops)
 
     def _write_track(self, vma: VMA, first_page: int, last_page: int):
         """Take write-protect faults for untracked granules in range."""
@@ -369,12 +377,13 @@ class MMStruct:
             for gindex in pending:
                 page = (gindex * granule - vma.file_offset) // PAGE_SIZE
                 page = max(first_page, page)
-                yield Compute(self.costs.fault_entry)
+                yield charge(CostDomain.FAULT, "fault-entry",
+                             self.costs.fault_entry)
                 yield from self.mmap_sem.acquire_read()
                 cost = yield from self._dirty_fault_locked(vma, page)
-                yield Compute(cost)
+                yield charge(CostDomain.FAULT, "dirty-track", cost)
                 yield from self.mmap_sem.release_read()
-                self.stats.add("vm.faults")
+                self.stats.add(Counter.VM_FAULTS)
         else:
             yield from self.mmap_sem.acquire_read()
             cost = len(pending) * (self.costs.fault_entry
@@ -382,14 +391,16 @@ class MMStruct:
             for gindex in pending:
                 vma.writable.add(gindex)
                 self.page_cache.mark(vma.inode, gindex)
-            self.stats.add("vm.dirty_faults", len(pending))
-            self.stats.add("vm.faults", len(pending))
+            self.stats.add(Counter.VM_DIRTY_FAULTS, len(pending))
+            self.stats.add(Counter.VM_FAULTS, len(pending))
             if vma.flags & MapFlags.SYNC:
                 fs: FileSystem = vma.fs
                 if fs.mapsync_needs_commit:
-                    cost += len(pending) * self.costs.journal_commit
-                    fs.stats.add("journal.sync_commits", len(pending))
-            yield Compute(cost)
+                    yield charge(CostDomain.JOURNAL, "mapsync-commit",
+                                 len(pending) * self.costs.journal_commit)
+                    fs.stats.add(Counter.JOURNAL_SYNC_COMMITS,
+                                 len(pending))
+            yield charge(CostDomain.FAULT, "dirty-track", cost)
             yield from self.mmap_sem.release_read()
         _ = pages_per_granule  # granule arithmetic documented above
 
@@ -419,8 +430,8 @@ class MMStruct:
                 if huge_fraction else 0)
         walk_small = self.walker.walk_cost(pattern, leaf_medium)
         cost = misses_small * walk_small + misses_huge * self.costs.walk_huge
-        self.stats.add("vm.tlb_misses", misses_small + misses_huge)
-        self.stats.add("vm.walk_cycles", cost)
+        self.stats.add(Counter.VM_TLB_MISSES, misses_small + misses_huge)
+        self.stats.add(Counter.VM_WALK_CYCLES, cost)
         return cost
 
     # ------------------------------------------------------------------
@@ -428,10 +439,11 @@ class MMStruct:
     # ------------------------------------------------------------------
     def msync(self, vma: VMA):
         """Flush the mapping's dirty granules and restart tracking."""
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "msync",
+                     self.costs.syscall_crossing)
         if vma.flags & MapFlags.NO_MSYNC:
             # DaxVM nosync mode: msync is a no-op (§IV-D).
-            self.stats.add("vm.msync_noop")
+            self.stats.add(Counter.VM_MSYNC_NOOP)
             return
         granule = vma.dirty_granule or PAGE_SIZE
         written = self.page_cache.written_bytes(vma.inode)
@@ -450,12 +462,13 @@ class MMStruct:
                 (mapping.dirty_granule or PAGE_SIZE) // PAGE_SIZE)
             reprotect += len(mapping.writable) * self.costs.pte_teardown
             mapping.writable.clear()
-        yield Compute(flush_cost + reprotect)
+        yield charge(CostDomain.COPY, "msync-flush", flush_cost)
+        yield charge(CostDomain.SYSCALL, "msync-reprotect", reprotect)
         if protected_pages:
             yield from self.shootdowns.flush(
                 self._initiator_core(), self.active_cores, protected_pages)
-        self.stats.add("vm.msync_calls")
-        self.stats.add("vm.msync_flushed", len(dirty))
+        self.stats.add(Counter.VM_MSYNC_CALLS)
+        self.stats.add(Counter.VM_MSYNC_FLUSHED, len(dirty))
 
     # ------------------------------------------------------------------
     # Other POSIX memory operations (baseline supports them fully).
@@ -464,7 +477,8 @@ class MMStruct:
                  prot: Protection):
         if vma.is_ephemeral:
             raise NotSupportedError("mprotect on an ephemeral mapping")
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "mprotect",
+                     self.costs.syscall_crossing)
         yield from self.mmap_sem.acquire_write()
         first = offset // PAGE_SIZE
         npages = -(-length // PAGE_SIZE)
@@ -472,13 +486,14 @@ class MMStruct:
                  else PageFlags.ro())
         changed = self.page_table.protect_range(
             vma.start + first * PAGE_SIZE, npages * PAGE_SIZE, flags)
-        yield Compute(changed * self.costs.pte_teardown
-                      + self.costs.vma_alloc)
+        yield charge(CostDomain.SYSCALL, "mprotect-ptes",
+                     changed * self.costs.pte_teardown
+                     + self.costs.vma_alloc)
         vma.prot = prot
         yield from self.shootdowns.flush(
             self._initiator_core(), self.active_cores, max(changed, 1))
         yield from self.mmap_sem.release_write()
-        self.stats.add("vm.mprotect_calls")
+        self.stats.add(Counter.VM_MPROTECT_CALLS)
 
     def fork(self, child: "MMStruct"):
         """Duplicate this address space into ``child`` (fork()).
@@ -490,7 +505,8 @@ class MMStruct:
         child re-establishes them with daxvm_mmap, which is O(1)
         anyway (and is what the paper's multi-process servers do).
         """
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "fork",
+                     self.costs.syscall_crossing)
         yield from self.mmap_sem.acquire_write()
         copy_cost = 0.0
         for start, vma in list(self.vmas.items()):
@@ -524,9 +540,9 @@ class MMStruct:
                 clone.huge_regions.add(region)
                 copy_cost += self.costs.pte_teardown
             vma.writable.clear()
-        yield Compute(copy_cost)
+        yield charge(CostDomain.COPY, "fork-copy", copy_cost)
         yield from self.mmap_sem.release_write()
-        self.stats.add("vm.forks")
+        self.stats.add(Counter.VM_FORKS)
         return child
 
     def mremap(self, vma: VMA, new_length: int):
@@ -534,14 +550,16 @@ class MMStruct:
         if vma.is_ephemeral:
             raise NotSupportedError("mremap on an ephemeral mapping")
         new_length = -(-new_length // PAGE_SIZE) * PAGE_SIZE
-        yield Compute(self.costs.syscall_crossing)
+        yield charge(CostDomain.SYSCALL, "mremap",
+                     self.costs.syscall_crossing)
         yield from self.mmap_sem.acquire_write()
-        yield Compute(self.costs.vma_alloc)
+        yield charge(CostDomain.SYSCALL, "vma-alloc", self.costs.vma_alloc)
         if new_length < vma.length:
             drop_start = vma.start + new_length
             pages = self.page_table.clear_range(
                 drop_start, vma.length - new_length)
-            yield Compute(pages * self.costs.pte_teardown)
+            yield charge(CostDomain.SYSCALL, "pte-teardown",
+                         pages * self.costs.pte_teardown)
             if pages:
                 yield from self.shootdowns.flush(
                     self._initiator_core(), self.active_cores, pages)
@@ -549,4 +567,4 @@ class MMStruct:
                              if p < new_length // PAGE_SIZE}
         vma.end = vma.start + new_length
         yield from self.mmap_sem.release_write()
-        self.stats.add("vm.mremap_calls")
+        self.stats.add(Counter.VM_MREMAP_CALLS)

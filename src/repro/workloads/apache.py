@@ -23,7 +23,7 @@ from typing import List, Optional
 from repro.analysis.results import RunResult
 from repro.baselines.latr import LatrUnmapper
 from repro.mem.physmem import Medium
-from repro.sim.engine import Compute
+from repro.obs import CostDomain, charge
 from repro.system import Process, System
 from repro.vm.vma import MapFlags, Protection
 from repro.workloads.common import DaxVMOptions, Measurement, spread
@@ -73,15 +73,19 @@ def _serve_request(system: System, process: Process, cfg: ApacheConfig,
                    async_unmapper=None):
     """One HTTP request: fetch the page, push it to the socket."""
     iface = cfg.interface
-    yield Compute(cfg.request_overhead_cycles
-                  + cfg.page_size * cfg.socket_cycles_per_byte)
+    span = system.trace.span("apache.request")
+    span.__enter__()
+    yield charge(CostDomain.USERSPACE, "http-handling",
+                 cfg.request_overhead_cycles
+                 + cfg.page_size * cfg.socket_cycles_per_byte)
     f = yield from system.fs.open(path)
     if iface is ServerInterface.READ:
         # Copy 1: PMem -> user buffer (kernel).  Copy 2: buffer ->
         # socket (from the cache).
         yield from system.fs.read(f, 0, cfg.page_size)
-        yield Compute(system.mem.memcpy(cfg.page_size, Medium.DRAM,
-                                        Medium.DRAM))
+        yield charge(CostDomain.USERSPACE, "socket-copy",
+                     system.mem.memcpy(cfg.page_size, Medium.DRAM,
+                                       Medium.DRAM))
     elif iface is ServerInterface.DAXVM:
         vma = yield from process.daxvm.mmap(
             f.inode, 0, cfg.page_size, Protection.READ,
@@ -109,6 +113,7 @@ def _serve_request(system: System, process: Process, cfg: ApacheConfig,
         else:
             yield from process.mm.munmap(vma)
     yield from system.fs.close(f)
+    span.__exit__(None, None, None)
 
 
 def _regular_releaser(process: Process):

@@ -43,6 +43,8 @@ class AppendConfig:
 def _append_once(system: System, process: Process, cfg: AppendConfig,
                  path: str):
     v = cfg.variant
+    span = system.trace.span("append")
+    span.__enter__()
     f = yield from system.fs.open(path, create=True)
     if v is AppendVariant.WRITE:
         yield from system.fs.write(f, 0, cfg.append_size)
@@ -68,6 +70,7 @@ def _append_once(system: System, process: Process, cfg: AppendConfig,
         else:
             yield from process.daxvm.munmap(vma)
     yield from system.fs.close(f)
+    span.__exit__(None, None, None)
 
 
 def run_append(system: System, cfg: AppendConfig) -> RunResult:

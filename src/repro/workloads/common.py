@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.analysis.results import RunResult
 from repro.system import System
@@ -84,10 +84,12 @@ class Measurement:
         self.system = system
         self._t0 = 0.0
         self._snap: Dict[str, float] = {}
+        self._domains: Dict[str, float] = {}
 
     def start(self) -> None:
         self._t0 = self.system.engine.now
         self._snap = self.system.stats.snapshot()
+        self._domains = self.system.engine.ledger.domains()
 
     def finish(self, label: str, operations: float,
                bytes_processed: float = 0.0) -> RunResult:
@@ -97,12 +99,21 @@ class Measurement:
             delta = value - self._snap.get(key, 0.0)
             if delta:
                 counters[key] = delta
+        domains = {}
+        for key, value in self.system.engine.ledger.domains().items():
+            delta = value - self._domains.get(key, 0.0)
+            if delta:
+                domains[key] = delta
+        percentiles = {key: hist.summary()
+                       for key, hist in self.system.stats.timings.items()}
         return RunResult(
             label=label,
             cycles=now - self._t0,
             operations=operations,
             bytes_processed=bytes_processed,
             counters=counters,
+            domains=domains,
+            percentiles=percentiles,
             freq_hz=self.system.costs.machine.freq_hz,
         )
 

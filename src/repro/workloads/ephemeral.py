@@ -15,9 +15,8 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.analysis.results import RunResult
-from repro.fs.vfs import Inode
 from repro.mem.physmem import Medium
-from repro.sim.engine import Compute
+from repro.obs import CostDomain, charge
 from repro.system import Process, System
 from repro.vm.vma import MapFlags, Protection
 from repro.workloads.common import DaxVMOptions, Interface, Measurement, spread
@@ -44,7 +43,8 @@ def _read_one(system: System, path: str, size: int):
     """open + read + process-from-cache + close."""
     f = yield from system.fs.open(path)
     yield from system.fs.read(f, 0, size)
-    yield Compute(system.mem.stream_read(size, Medium.DRAM, cached=True))
+    yield charge(CostDomain.USERSPACE, "stream-process",
+                 system.mem.stream_read(size, Medium.DRAM, cached=True))
     yield from system.fs.close(f)
 
 

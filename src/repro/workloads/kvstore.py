@@ -31,8 +31,8 @@ from typing import List, Optional, Tuple
 
 from repro.fs.vfs import DaxFile
 from repro.mem.physmem import Medium
+from repro.obs import CostDomain, charge
 from repro.paging.tlb import AccessPattern
-from repro.sim.engine import Compute
 from repro.system import Process, System
 from repro.vm.vma import MapFlags, Protection, VMA
 from repro.workloads.common import DaxVMOptions, Interface
@@ -137,8 +137,9 @@ class PmemKVStore:
             pattern=AccessPattern.SEQUENTIAL, ntstore=True)
         self.wal_offset += cfg.record_size
         # Memtable insert: skiplist walk + record copy in DRAM.
-        yield Compute(900.0 + self.system.mem.memcpy(
-            cfg.record_size, Medium.DRAM, Medium.DRAM))
+        yield charge(CostDomain.USERSPACE, "memtable-insert",
+                     900.0 + self.system.mem.memcpy(
+                         cfg.record_size, Medium.DRAM, Medium.DRAM))
         self.memtable_bytes += cfg.record_size
         self.record_count += 1
         if self.memtable_bytes >= cfg.memtable_limit:
@@ -160,19 +161,20 @@ class PmemKVStore:
         """Point read of one record."""
         cfg = self.cfg
         # Memtable probe.
-        yield Compute(600.0)
+        yield charge(CostDomain.USERSPACE, "memtable-probe", 600.0)
         total = max(self.record_count, 1)
         memtable_records = self.memtable_bytes // cfg.record_size
         if self.rng.random() < memtable_records / total or \
                 not self.sstables:
-            yield Compute(self.system.mem.memcpy(
-                cfg.record_size, Medium.DRAM, Medium.DRAM))
+            yield charge(CostDomain.USERSPACE, "memtable-copy",
+                         self.system.mem.memcpy(
+                             cfg.record_size, Medium.DRAM, Medium.DRAM))
             return
         _f, vma = self.rng.choice(self.sstables)
         slots = cfg.sstable_size // cfg.record_size
         offset = self.rng.randrange(slots) * cfg.record_size
         # Index block lookup + record copy out.
-        yield Compute(1200.0)
+        yield charge(CostDomain.USERSPACE, "index-lookup", 1200.0)
         yield from self.process.mm.access(
             vma, self._base(vma) + offset, cfg.record_size,
             pattern=AccessPattern.RANDOM, copy=True)
@@ -186,7 +188,7 @@ class PmemKVStore:
         _f, vma = self.rng.choice(self.sstables)
         slots = cfg.sstable_size // cfg.record_size
         start = self.rng.randrange(max(1, slots - records))
-        yield Compute(1200.0)
+        yield charge(CostDomain.USERSPACE, "index-lookup", 1200.0)
         yield from self.process.mm.access(
             vma, self._base(vma) + start * cfg.record_size,
             records * cfg.record_size,

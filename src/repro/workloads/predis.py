@@ -18,9 +18,8 @@ import random
 from dataclasses import dataclass, field
 
 from repro.analysis.results import RunResult, Series
-from repro.mem.physmem import Medium
 from repro.paging.tlb import AccessPattern
-from repro.sim.engine import Compute
+from repro.obs import CostDomain, charge
 from repro.system import Process, System
 from repro.vm.vma import MapFlags, Protection
 from repro.workloads.common import DaxVMOptions, Interface, Measurement
@@ -102,7 +101,7 @@ def _server(system: System, process: Process, cfg: PRedisConfig,
             cache_vma, cache_base + slot * cfg.value_size,
             cfg.value_size, pattern=AccessPattern.RANDOM, copy=True)
         # Protocol/response handling.
-        yield Compute(3000.0)
+        yield charge(CostDomain.USERSPACE, "protocol-handling", 3000.0)
         served += 1
         if served % cfg.window == 0:
             now = system.engine.now

@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 
 from repro.analysis.results import RunResult
 from repro.paging.tlb import AccessPattern
-from repro.sim.engine import Compute
 from repro.system import Process, System
 from repro.vm.vma import MapFlags, Protection
 from repro.workloads.common import DaxVMOptions, Interface, Measurement

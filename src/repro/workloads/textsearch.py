@@ -17,7 +17,7 @@ from typing import List
 from repro.analysis.results import RunResult
 from repro.fs.vfs import Inode
 from repro.mem.physmem import Medium
-from repro.sim.engine import Compute
+from repro.obs import CostDomain, charge
 from repro.system import Process, System
 from repro.vm.vma import MapFlags, Protection
 from repro.workloads.common import DaxVMOptions, Interface, Measurement
@@ -45,14 +45,16 @@ def _search_one(system: System, process: Process, cfg: TextSearchConfig,
     f = yield from system.fs.open(inode.path)
     if cfg.interface is Interface.READ:
         yield from system.fs.read(f, 0, size)
-        yield Compute(system.mem.stream_read(size, Medium.DRAM, cached=True)
-                      + size * SEARCH_CYCLES_PER_BYTE)
+        yield charge(CostDomain.USERSPACE, "pattern-scan",
+                     system.mem.stream_read(size, Medium.DRAM, cached=True)
+                     + size * SEARCH_CYCLES_PER_BYTE)
     elif cfg.interface is Interface.DAXVM:
         vma = yield from process.daxvm.mmap(f.inode, 0, size,
                                             Protection.READ,
                                             cfg.daxvm.flags())
         yield from process.mm.access(vma, vma.user_addr - vma.start, size)
-        yield Compute(size * SEARCH_CYCLES_PER_BYTE)
+        yield charge(CostDomain.USERSPACE, "pattern-scan",
+                     size * SEARCH_CYCLES_PER_BYTE)
         yield from process.daxvm.munmap(vma)
     else:
         flags = MapFlags.SHARED
@@ -61,7 +63,8 @@ def _search_one(system: System, process: Process, cfg: TextSearchConfig,
         vma = yield from process.mm.mmap(system.fs, f.inode, 0, size,
                                          Protection.READ, flags)
         yield from process.mm.access(vma, 0, size)
-        yield Compute(size * SEARCH_CYCLES_PER_BYTE)
+        yield charge(CostDomain.USERSPACE, "pattern-scan",
+                     size * SEARCH_CYCLES_PER_BYTE)
         yield from process.mm.munmap(vma)
     yield from system.fs.close(f)
 

@@ -13,7 +13,7 @@ from typing import Dict, Tuple
 
 from repro.analysis.results import RunResult
 from repro.system import System
-from repro.workloads.common import DaxVMOptions, Interface, Measurement
+from repro.workloads.common import Interface, Measurement
 from repro.workloads.kvstore import KVConfig, PmemKVStore
 
 #: (read, update, insert, scan, rmw) fractions per workload.

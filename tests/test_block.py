@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import NoSpaceError
-from repro.fs.block import BLOCK_SIZE, BLOCKS_PER_PMD, BlockDevice
+from repro.fs.block import BLOCKS_PER_PMD, BlockDevice
 
 
 def test_basic_alloc_free_cycle():

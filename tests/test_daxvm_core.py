@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import NotSupportedError
 from repro.mem.physmem import Medium
 from repro.vm.vma import MapFlags, Protection
 

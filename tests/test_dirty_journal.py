@@ -3,9 +3,10 @@
 import pytest
 
 from repro.config import DEFAULT_COSTS
+from repro.errors import MissingCounterError
 from repro.fs.journal import Journal
 from repro.fs.vfs import Inode
-from repro.sim.engine import Compute, Engine
+from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 from repro.vm.dirty import DirtyTracker
 
@@ -92,7 +93,10 @@ def test_stats_counters_and_series():
     assert stats.get("missing") == 0.0
     stats.add("y", 7)
     assert stats.ratio("y", "x") == pytest.approx(2.0)
-    assert stats.ratio("y", "nothing") == 0.0
+    with pytest.raises(MissingCounterError):
+        stats.ratio("y", "nothing")
+    stats.add("touched-zero", 0.0)
+    assert stats.ratio("y", "touched-zero") == 0.0
     stats.sample("tl", 1.0, 10.0)
     stats.sample("tl", 2.0, 20.0)
     assert stats.series("tl") == [(1.0, 10.0), (2.0, 20.0)]

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs import CostDomain, charge
 from repro.sim.engine import Block, Compute, Engine, Spawn, Wake
 
 
@@ -203,6 +204,122 @@ def test_core_out_of_range():
 
     with pytest.raises(SimulationError):
         engine.spawn(worker(), core=7)
+
+
+def test_daemon_events_drain_at_shutdown():
+    """Daemon events queued past the last foreground finish are
+    discarded, and a re-entered run() is a no-op."""
+    engine = Engine(2)
+    ticks = []
+
+    def daemon():
+        while True:
+            yield Compute(10)
+            ticks.append(engine.now)
+
+    def fg():
+        yield Compute(25)
+
+    engine.spawn(daemon(), daemon=True, core=0)
+    engine.spawn(fg(), core=1)
+    final = engine.run()
+    assert final == 25
+    assert all(t <= 25 for t in ticks)
+    # The daemon's next event is still queued but must never execute:
+    # no foreground work remains, so run() returns immediately.
+    before = len(ticks)
+    assert engine.run() == 25
+    assert len(ticks) == before
+
+
+def test_wake_already_runnable_thread_fails():
+    """A second Wake racing the first must fail loudly, not double-
+    schedule the sleeper."""
+    engine = Engine(4)
+
+    def sleeper():
+        yield Block()
+        yield Compute(1000)
+
+    def waker(target, delay):
+        yield Compute(delay)
+        yield Wake(target)
+
+    target = engine.spawn(sleeper())
+    engine.spawn(waker(target, 10))
+    engine.spawn(waker(target, 20))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_wake_finished_thread_fails():
+    engine = Engine(2)
+
+    def quick():
+        yield Compute(1)
+
+    def late_waker(target):
+        yield Compute(100)
+        yield Wake(target)
+
+    target = engine.spawn(quick())
+    engine.spawn(late_waker(target))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_equal_timestamp_tie_break_is_spawn_order():
+    """Events at identical timestamps run in monotone sequence order
+    (spawn order), so schedules are reproducible."""
+    def build():
+        engine = Engine(8)
+        order = []
+
+        def worker(i):
+            yield Compute(10)
+            order.append(i)
+            yield Compute(10)
+            order.append(i)
+
+        for i in range(6):
+            engine.spawn(worker(i), core=i)
+        engine.run()
+        return order
+
+    first = build()
+    assert first == [0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5]
+    assert first == build()
+
+
+def test_ledger_attributes_charges_and_uncharged_compute():
+    engine = Engine(2)
+
+    def worker():
+        yield charge(CostDomain.ZEROING, "zero-fill", 300)
+        yield Compute(100)
+
+    engine.spawn(worker(), core=0)
+    engine.run()
+    assert engine.ledger.domain_total(CostDomain.ZEROING) == 300
+    assert engine.ledger.domain_total(CostDomain.USERSPACE) == 100
+    assert engine.ledger.event_total(CostDomain.USERSPACE,
+                                     "uncharged") == 100
+    assert engine.ledger.total() == 400
+
+
+def test_ledger_books_stolen_cycles_as_shootdown():
+    engine = Engine(2)
+
+    def victim():
+        yield charge(CostDomain.COPY, "memcpy", 100)
+
+    engine.spawn(victim(), core=1)
+    engine.interrupt_cores([1], 40)
+    engine.run()
+    assert engine.ledger.domain_total(CostDomain.COPY) == 100
+    assert engine.ledger.event_total(CostDomain.TLB_SHOOTDOWN,
+                                     "ipi-stolen") == 40
+    assert engine.now == 140
 
 
 def test_seconds_conversion():

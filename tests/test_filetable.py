@@ -1,7 +1,5 @@
 """File-table tests: construction, policy, lifecycle, migration."""
 
-import pytest
-
 from repro.fs.block import BLOCK_SIZE
 from repro.mem.physmem import Medium
 

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.errors import InvalidArgumentError, NoSuchFileError
-from repro.fs.block import BLOCK_SIZE
-from repro.system import System
 
 
 def run(system, gen):

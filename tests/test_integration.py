@@ -114,7 +114,6 @@ def test_memory_is_reclaimed_after_workload():
     def flow():
         f = yield from system.fs.open("/x", create=True)
         yield from system.fs.write(f, 0, 1 << 20)
-        from repro.vm.vma import MapFlags, Protection
         vma = yield from dax.mmap(f.inode, 0, 1 << 20)
         yield from proc.mm.access(vma, vma.user_addr - vma.start, 1 << 20)
         yield from dax.munmap(vma)

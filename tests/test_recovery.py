@@ -1,7 +1,5 @@
 """Crash consistency and reboot recovery tests (paper §IV-A1)."""
 
-import pytest
-
 from repro.core.recovery import (
     RecoveryLog,
     simulate_crash,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import DEFAULT_COSTS
 from repro.errors import InvalidArgumentError
 from repro.fs.ext4 import Ext4Dax
 from repro.fs.nova import Nova

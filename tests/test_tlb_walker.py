@@ -7,7 +7,7 @@ from repro.mem.physmem import Medium
 from repro.paging.pagetable import PMD_LEVEL
 from repro.paging.tlb import AccessPattern, ShootdownController, TLBModel
 from repro.paging.walker import PageWalker
-from repro.sim.engine import Compute, Engine
+from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 
 

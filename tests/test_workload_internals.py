@@ -1,8 +1,6 @@
 """Deeper workload-internals tests: apache request paths, syncbench
 semantics, predis timeline mechanics, ephemeral opts labels."""
 
-import pytest
-
 from repro.system import System
 from repro.workloads import (
     ApacheConfig,
