@@ -19,12 +19,13 @@ from pathlib import Path
 
 import pytest
 
+from repro.runner.cache import TELEMETRY
 from repro.sim.stats import Stats
 from repro.system import System
 
 #: Per-bench instrumentation records (one JSON list for the whole
 #: session), written next to the repo root.
-BENCH_LOG = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+BENCH_LOG = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 _records: list = []
 
 
@@ -53,12 +54,14 @@ def pytest_configure(config):
 
 @pytest.fixture(autouse=True)
 def _bench_recorder(request):
-    """Record each bench's simulated work to ``BENCH_PR1.json``.
+    """Record each bench's simulated work to ``BENCH_PR2.json``.
 
     Every ``System`` built during the test is tracked; afterwards their
     :class:`~repro.sim.stats.Stats` are merged (satellite: Stats.merge)
     and the bench's total simulated cycles, wall time and largest
-    counters are appended to the session log.
+    counters are appended to the session log.  Benches that route
+    through the sweep runner also report every point's cache hit/miss
+    and wall time (drained from the runner telemetry).
     """
     created = []
     original_init = System.__init__
@@ -68,13 +71,15 @@ def _bench_recorder(request):
         created.append(self)
 
     System.__init__ = tracking_init
+    telemetry_mark = len(TELEMETRY)
     start = time.perf_counter()
     try:
         yield
     finally:
         System.__init__ = original_init
     wall = time.perf_counter() - start
-    if not created:
+    sweep_points = [dict(entry) for entry in TELEMETRY[telemetry_mark:]]
+    if not created and not sweep_points:
         return
     merged = Stats()
     cycles = 0.0
@@ -83,10 +88,16 @@ def _bench_recorder(request):
         cycles += system.engine.now
     counters = merged.to_json()["counters"]
     top = sorted(counters.items(), key=lambda kv: -abs(kv[1]))[:12]
-    _records.append({
+    record = {
         "bench": request.node.nodeid,
         "simulated_cycles": cycles,
         "wall_seconds": wall,
         "key_counters": dict(top),
-    })
+    }
+    if sweep_points:
+        hits = sum(1 for entry in sweep_points if entry["hit"])
+        record["sweep_points"] = sweep_points
+        record["cache_hits"] = hits
+        record["cache_misses"] = len(sweep_points) - hits
+    _records.append(record)
     BENCH_LOG.write_text(json.dumps(_records, indent=2) + "\n")

@@ -100,6 +100,24 @@ def format_lock_report(title: str,
     return out
 
 
+def format_cache_summary(hits: int, misses: int,
+                         wall_seconds: float) -> str:
+    """One-line sweep-cache accounting (runner output footer)."""
+    total = hits + misses
+    ratio = hits / total if total else 0.0
+    return (f"cache: {hits}/{total} points served from cache "
+            f"({ratio * 100:.0f}%), {misses} simulated; "
+            f"wall {wall_seconds:.2f}s")
+
+
+def format_sweep(title: str, series: Iterable[Series],
+                 x_label: str, hits: int, misses: int,
+                 wall_seconds: float) -> str:
+    """A sweep's figure grid plus its cache accounting footer."""
+    return (format_series(title, series, x_label=x_label) + "\n"
+            + format_cache_summary(hits, misses, wall_seconds))
+
+
 def render_bars(title: str, labels: Iterable[str],
                 values: Iterable[float], width: int = 40) -> str:
     """An ASCII bar chart (for quick visual shape checks)."""

@@ -9,7 +9,7 @@ renders as text mirrors of the paper's artifacts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -98,6 +98,23 @@ class Series:
             if base:
                 out.add(x, y / base)
         return out
+
+
+def series_from_points(points: Iterable[Tuple[str, float, float]]
+                       ) -> List[Series]:
+    """Group ``(series_label, x, y)`` triples into figure lines.
+
+    Series appear in first-seen order, points in input order — the
+    sweep runner emits points in manifest order, so the grouping is
+    deterministic regardless of which worker produced which point.
+    """
+    by_label: Dict[str, Series] = {}
+    for label, x, y in points:
+        series = by_label.get(label)
+        if series is None:
+            series = by_label[label] = Series(label)
+        series.add(x, y)
+    return list(by_label.values())
 
 
 @dataclass

@@ -16,10 +16,18 @@ from repro.analysis.report import (
     format_domain_breakdown,
     format_lock_report,
     format_series,
+    format_sweep,
     format_table,
 )
-from repro.analysis.results import Series, Table
+from repro.analysis.results import Table
 from repro.config import MEDIA_PRESETS
+from repro.runner import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    SWEEPS,
+    build_sweep,
+    run_sweep,
+)
 from repro.paging.tlb import AccessPattern
 from repro.system import System
 from repro.workloads import (
@@ -83,22 +91,20 @@ def _ephemeral(args):
     print(format_table(table))
 
 
+def _run_named_sweep(args, name: str):
+    """Build and execute a registered sweep with the CLI knobs."""
+    sweep = build_sweep(name, ops=args.ops, size=args.size,
+                        media=args.media, device_gib=args.device,
+                        aged=not args.fresh)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return run_sweep(sweep, jobs=args.jobs, cache=cache)
+
+
 @experiment("scaling", "read-once throughput vs thread count (fig 1b)")
 def _scaling(args):
-    series = {i: Series(i.value) for i in (Interface.READ,
-                                           Interface.MMAP,
-                                           Interface.DAXVM)}
-    for threads in (1, 2, 4, 8, 16):
-        for interface in series:
-            system = _system(args)
-            cfg = EphemeralConfig(file_size=args.size,
-                                  num_files=args.ops,
-                                  num_threads=threads,
-                                  interface=interface)
-            r = run_ephemeral(system, cfg)
-            series[interface].add(threads, r.ops_per_second / 1e3)
-    print(format_series("Read-once throughput (Kops/s)",
-                        series.values(), x_label="threads"))
+    result = _run_named_sweep(args, "scaling")
+    print(format_series(result.sweep.title, result.series(),
+                        x_label=result.sweep.axis))
 
 
 @experiment("repetitive", "database-style 4KB ops over one big file")
@@ -123,20 +129,15 @@ def _repetitive(args):
 
 @experiment("apache", "webserver scalability (fig 8a)")
 def _apache(args):
-    bars = [("read", ServerInterface.READ, None),
-            ("mmap", ServerInterface.MMAP, None),
-            ("daxvm", ServerInterface.DAXVM, DaxVMOptions.full())]
-    series = {name: Series(name) for name, _i, _o in bars}
-    for workers in (1, 4, 8, 16):
-        for name, interface, opts in bars:
-            system = _system(args)
-            cfg = ApacheConfig(num_workers=workers, requests=args.ops,
-                               interface=interface,
-                               daxvm=opts or DaxVMOptions.full())
-            r = run_apache(system, cfg)
-            series[name].add(workers, r.ops_per_second / 1e3)
-    print(format_series("Apache throughput (Kreq/s)", series.values(),
-                        x_label="cores"))
+    result = _run_named_sweep(args, "apache")
+    print(format_series(result.sweep.title, result.series(),
+                        x_label=result.sweep.axis))
+
+
+@experiment("ablations", "incremental DaxVM mechanisms at 16 cores")
+def _ablations(args):
+    result = _run_named_sweep(args, "ablations")
+    print(format_table(result.table()))
 
 
 @experiment("predis", "P-Redis boot and warm-up timeline (fig 9b)")
@@ -262,18 +263,54 @@ def _perf_fig8a(args):
     print(format_domain_breakdown("cycles by cost domain", r.domains))
 
 
+def _sweep_cmd(args) -> int:
+    """``python -m repro sweep <name>`` — parallel cached execution."""
+    result = _run_named_sweep(args, args.target)
+    print(format_sweep(result.sweep.title, result.series(),
+                       result.sweep.axis, result.hits, result.misses,
+                       result.wall_seconds))
+    print()
+    print(format_table(result.table()))
+    if args.verify_cache:
+        if args.no_cache:
+            print("sweep: --verify-cache needs the cache; "
+                  "drop --no-cache", file=sys.stderr)
+            return 2
+        warm = _run_named_sweep(args, args.target)
+        if warm.hits != len(warm.points):
+            print(f"sweep: cache verify FAILED: only {warm.hits}/"
+                  f"{len(warm.points)} points served from cache",
+                  file=sys.stderr)
+            return 1
+        for cold, hot in zip(result.points, warm.points):
+            a = json.dumps(cold.comparable_state(), sort_keys=True)
+            b = json.dumps(hot.comparable_state(), sort_keys=True)
+            if a != b:
+                print(f"sweep: cache verify FAILED: point "
+                      f"{cold.point.label} round-trips differently",
+                      file=sys.stderr)
+                return 1
+        print(f"cache verify OK: {warm.hits}/{len(warm.points)} points "
+              f"replayed identically")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="DaxVM reproduction experiments (compact versions; "
                     "full regenerations live in benchmarks/)")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["perf", "list"],
+                        choices=sorted(EXPERIMENTS) + ["perf", "sweep",
+                                                       "list"],
                         help="which experiment to run ('perf' drills "
-                             "into instrumentation breakdowns)")
+                             "into instrumentation breakdowns, 'sweep' "
+                             "fans a named sweep across worker "
+                             "processes with result caching)")
     parser.add_argument("target", nargs="?",
-                        choices=sorted(PERF_TARGETS),
-                        help="perf target (with 'perf')")
+                        choices=sorted(set(PERF_TARGETS) | set(SWEEPS)),
+                        help="perf target (with 'perf') or sweep name "
+                             "(with 'sweep')")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON (perf only)")
     parser.add_argument("--ops", type=int, default=400,
@@ -289,6 +326,16 @@ def build_parser() -> argparse.ArgumentParser:
                         default="ext4")
     parser.add_argument("--media", choices=sorted(MEDIA_PRESETS),
                         default="optane")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweep execution")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the sweep result cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="sweep result cache directory")
+    parser.add_argument("--verify-cache", action="store_true",
+                        help="after a sweep, replay it from cache and "
+                             "fail unless every point round-trips "
+                             "identically")
     return parser
 
 
@@ -299,14 +346,22 @@ def main(argv=None) -> int:
             print(f"{name:<12} {fn.help_text}")
         for name, fn in sorted(PERF_TARGETS.items()):
             print(f"perf {name:<7} {fn.help_text}")
+        for name, fn in sorted(SWEEPS.items()):
+            print(f"sweep {name:<6} {fn.help_text}")
         return 0
     if args.experiment == "perf":
-        if args.target is None:
+        if args.target is None or args.target not in PERF_TARGETS:
             print("perf needs a target: " + ", ".join(sorted(PERF_TARGETS)),
                   file=sys.stderr)
             return 2
         PERF_TARGETS[args.target](args)
         return 0
+    if args.experiment == "sweep":
+        if args.target is None or args.target not in SWEEPS:
+            print("sweep needs a name: " + ", ".join(sorted(SWEEPS)),
+                  file=sys.stderr)
+            return 2
+        return _sweep_cmd(args)
     EXPERIMENTS[args.experiment](args)
     return 0
 

@@ -77,8 +77,12 @@ class AsyncUnmapper:
         teardown = 0.0
         for vma in zombies:
             self.mm.page_table.clear_range(vma.start, vma.length)
+            # A zombie can carry both PMD attachments (DaxVM file
+            # tables) and individually faulted PTEs (regular mappings
+            # deferred through MAP_UNMAP_ASYNC); tear down each for
+            # what it actually installed.
             teardown += (len(vma.attachments) * self.costs.pmd_attach
-                         or vma.num_pages * self.costs.pte_teardown)
+                         + len(vma.populated) * self.costs.pte_teardown)
         yield charge(CostDomain.SYSCALL, "zombie-teardown", teardown)
         yield from self.mm.shootdowns.flush(
             self.mm._initiator_core(), self.mm.active_cores, pages,

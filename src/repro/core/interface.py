@@ -118,6 +118,7 @@ class DaxVM:
 
         vma = VMA(start, start + span, inode, lo, prot, flags)
         vma.fs = self.fs
+        vma.mm = self.mm
         vma.fully_populated = True
         vma.leaf_medium = table.medium
         vma.dirty_granule = granule

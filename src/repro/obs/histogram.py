@@ -90,6 +90,33 @@ class Histogram:
         self.max_value = max(self.max_value, other.max_value)
         return self
 
+    def to_state(self) -> Dict[str, object]:
+        """Lossless, JSON-ready state (inverse of :meth:`from_state`).
+
+        Unlike :meth:`summary`, this carries the raw buckets, so a
+        histogram shipped across a process boundary (or through the
+        sweep-result cache) merges bit-identically to the original.
+        """
+        return {
+            "buckets": {str(i): c for i, c in sorted(self._buckets.items())},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min_value if self.count else None,
+            "max": self.max_value,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Histogram":
+        hist = cls()
+        hist._buckets = {int(i): int(c)
+                         for i, c in state["buckets"].items()}
+        hist.count = int(state["count"])
+        hist.total = float(state["total"])
+        hist.min_value = (math.inf if state["min"] is None
+                          else float(state["min"]))
+        hist.max_value = float(state["max"])
+        return hist
+
     def summary(self) -> Dict[str, float]:
         """JSON-ready summary: count/mean/min/max plus p50/p95/p99."""
         out = {

@@ -104,6 +104,40 @@ class Ledger:
         self._threads.clear()
         self.records = 0
 
+    def to_state(self) -> Dict[str, object]:
+        """Lossless, JSON-ready state (inverse of :meth:`from_state`).
+
+        Events are shipped as ``[domain, event, cycles]`` triples —
+        event names may contain any separator, so no string key is
+        safe to join them on."""
+        return {
+            "domains": {d.value: v for d, v in
+                        sorted(self._domains.items(),
+                               key=lambda kv: kv[0].value)},
+            "events": [[d.value, e, v] for (d, e), v in
+                       sorted(self._events.items(),
+                              key=lambda kv: (kv[0][0].value, kv[0][1]))],
+            "threads": {t: {d.value: v for d, v in
+                            sorted(per.items(),
+                                   key=lambda kv: kv[0].value)}
+                        for t, per in sorted(self._threads.items())},
+            "records": self.records,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Ledger":
+        ledger = cls()
+        for name, value in state.get("domains", {}).items():
+            ledger._domains[CostDomain(name)] = float(value)
+        for name, event, value in state.get("events", []):
+            ledger._events[(CostDomain(name), event)] = float(value)
+        for thread, per in state.get("threads", {}).items():
+            mine = ledger._threads[thread]
+            for name, value in per.items():
+                mine[CostDomain(name)] = float(value)
+        ledger.records = int(state.get("records", 0))
+        return ledger
+
     def to_json(self) -> Dict[str, object]:
         """JSON-ready attribution snapshot (the ``BENCH_*`` seed)."""
         return {

@@ -1,0 +1,93 @@
+"""Content-addressed result cache for sweep points.
+
+A point's cache key (:meth:`~repro.runner.manifest.SweepPoint.
+cache_key`) hashes the experiment, its full configuration, the
+expanded cost-model constants and a fingerprint of the package source.
+Because the DES engine is deterministic and each point simulates a
+fresh :class:`~repro.system.System`, the stored result is *exact*: a
+hit reproduces the simulation bit-for-bit without running it.
+
+Entries are single JSON files under ``.repro_cache/`` (or any
+directory handed to :class:`ResultCache`), written atomically via a
+temp file + rename so a crashed or parallel run never leaves a torn
+entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Per-point telemetry drained by the benchmark harness: one record
+#: per served point, ``{"point", "experiment", "hit", "wall_seconds"}``.
+TELEMETRY: List[Dict[str, object]] = []
+
+_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every source file in the ``repro`` package.
+
+    Part of every cache key: any code change (a cost tweak, a kernel
+    bugfix) silently invalidates all cached points, so stale results
+    can never masquerade as current ones.  Computed once per process.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _fingerprint = digest.hexdigest()[:16]
+    return _fingerprint
+
+
+class ResultCache:
+    """Keyed JSON store with hit/miss accounting."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = Path(root or DEFAULT_CACHE_DIR)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Load a stored point state, or None (counts as a miss)."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                state = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return state
+
+    def put(self, key: str, state: Dict[str, object]) -> None:
+        """Store a point state atomically."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(state, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, path)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,165 @@
+"""The sweep registry: point runners and manifest builders.
+
+A *point runner* maps ``(system, **params)`` to a
+:class:`~repro.analysis.results.RunResult` — the unit of work a pool
+worker executes.  A *sweep builder* expands CLI-level knobs into a
+:class:`~repro.runner.manifest.Sweep` of independent points.  Both are
+looked up by name, so the CLI, the benchmarks and the tests share one
+definition of what "the apache sweep" means.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.analysis.results import RunResult
+from repro.runner.manifest import Sweep, SweepPoint
+from repro.system import System
+from repro.workloads import (
+    ApacheConfig,
+    DaxVMOptions,
+    EphemeralConfig,
+    Interface,
+    ServerInterface,
+    run_apache,
+    run_ephemeral,
+)
+
+PointRunner = Callable[..., RunResult]
+POINT_RUNNERS: Dict[str, PointRunner] = {}
+SWEEPS: Dict[str, Callable[..., Sweep]] = {}
+
+
+def point_runner(name: str):
+    def decorate(fn):
+        POINT_RUNNERS[name] = fn
+        return fn
+    return decorate
+
+
+def sweep(name: str, help_text: str):
+    def decorate(fn):
+        fn.help_text = help_text
+        SWEEPS[name] = fn
+        return fn
+    return decorate
+
+
+def _daxvm_options(state: Optional[dict]) -> DaxVMOptions:
+    return DaxVMOptions(**state) if state else DaxVMOptions.full()
+
+
+def _daxvm_params(opts: DaxVMOptions) -> dict:
+    return {"ephemeral": opts.ephemeral, "unmap_async": opts.unmap_async,
+            "sync": opts.sync, "nosync": opts.nosync}
+
+
+# ---------------------------------------------------------------------------
+# Point runners (what a worker process executes).
+# ---------------------------------------------------------------------------
+@point_runner("ephemeral")
+def _ephemeral_point(system: System, *, file_size: int, num_files: int,
+                     num_threads: int, interface: str,
+                     daxvm: Optional[dict] = None) -> RunResult:
+    cfg = EphemeralConfig(file_size=file_size, num_files=num_files,
+                          num_threads=num_threads,
+                          interface=Interface(interface),
+                          daxvm=_daxvm_options(daxvm))
+    return run_ephemeral(system, cfg)
+
+
+@point_runner("apache")
+def _apache_point(system: System, *, num_workers: int, requests: int,
+                  interface: str, daxvm: Optional[dict] = None,
+                  batch_pages: Optional[int] = None) -> RunResult:
+    cfg = ApacheConfig(num_workers=num_workers, requests=requests,
+                       interface=ServerInterface(interface),
+                       daxvm=_daxvm_options(daxvm),
+                       batch_pages=batch_pages)
+    return run_apache(system, cfg)
+
+
+# ---------------------------------------------------------------------------
+# Sweep builders (figure -> list of points).
+# ---------------------------------------------------------------------------
+@sweep("scaling", "read-once throughput vs thread count (fig 1b)")
+def _scaling_sweep(*, ops: int, size: int, media: str, device_gib: int,
+                   aged: bool) -> Sweep:
+    points = []
+    for threads in (1, 2, 4, 8, 16):
+        for interface in (Interface.READ, Interface.MMAP,
+                          Interface.DAXVM):
+            points.append(SweepPoint(
+                experiment="ephemeral", series=interface.value,
+                x=threads,
+                params={"file_size": size, "num_files": ops,
+                        "num_threads": threads,
+                        "interface": interface.value},
+                media=media, device_gib=device_gib, aged=aged))
+    return Sweep(name="scaling",
+                 title="Read-once throughput (Kops/s)",
+                 points=points, axis="threads")
+
+
+@sweep("apache", "webserver scalability (fig 8a)")
+def _apache_sweep(*, ops: int, size: int, media: str, device_gib: int,
+                  aged: bool) -> Sweep:
+    bars = [("read", ServerInterface.READ, None),
+            ("mmap", ServerInterface.MMAP, None),
+            ("daxvm", ServerInterface.DAXVM, DaxVMOptions.full())]
+    points = []
+    for workers in (1, 4, 8, 16):
+        for series, interface, opts in bars:
+            params = {"num_workers": workers, "requests": ops,
+                      "interface": interface.value}
+            if opts is not None:
+                params["daxvm"] = _daxvm_params(opts)
+            points.append(SweepPoint(
+                experiment="apache", series=series, x=workers,
+                params=params, media=media, device_gib=device_gib,
+                aged=aged))
+    return Sweep(name="apache",
+                 title="Apache throughput (Kreq/s)",
+                 points=points, axis="cores")
+
+
+@sweep("ablations", "incremental DaxVM mechanisms at 16 cores (§V-C)")
+def _ablations_sweep(*, ops: int, size: int, media: str,
+                     device_gib: int, aged: bool) -> Sweep:
+    workers = 16
+    bars = [
+        ("read", ServerInterface.READ, None, None),
+        ("mmap", ServerInterface.MMAP, None, None),
+        ("+filetables", ServerInterface.DAXVM,
+         DaxVMOptions.filetables_only(), None),
+        ("+ephemeral", ServerInterface.DAXVM,
+         DaxVMOptions.with_ephemeral(), None),
+        ("+async", ServerInterface.DAXVM, DaxVMOptions.full(), None),
+        ("+batch512", ServerInterface.DAXVM, DaxVMOptions.full(), 512),
+    ]
+    points = []
+    for series, interface, opts, batch in bars:
+        params = {"num_workers": workers, "requests": ops,
+                  "interface": interface.value}
+        if opts is not None:
+            params["daxvm"] = _daxvm_params(opts)
+        if batch is not None:
+            params["batch_pages"] = batch
+        points.append(SweepPoint(
+            experiment="apache", series=series, x=workers,
+            params=params, media=media, device_gib=device_gib,
+            aged=aged))
+    return Sweep(name="ablations",
+                 title=f"Fig. 8a incremental bars, {workers} cores "
+                       f"(Kreq/s)",
+                 points=points, axis="cores")
+
+
+def build_sweep(name: str, *, ops: int, size: int, media: str,
+                device_gib: int, aged: bool) -> Sweep:
+    """Expand a named sweep with the given CLI-level knobs."""
+    builder = SWEEPS.get(name)
+    if builder is None:
+        raise KeyError(f"unknown sweep {name!r}; known: {sorted(SWEEPS)}")
+    return builder(ops=ops, size=size, media=media,
+                   device_gib=device_gib, aged=aged)

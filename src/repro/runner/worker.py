@@ -1,0 +1,59 @@
+"""Execution of one sweep point (in-process or in a pool worker).
+
+The function crossing the ``multiprocessing`` boundary takes a plain
+payload dict and returns a plain state dict — no simulator object is
+ever pickled.  Each point builds a fresh :class:`~repro.system.System`
+from its media preset, exactly as the sequential CLI experiments do,
+so a point's result is independent of which process (and in which
+order) it runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+import time
+from typing import Dict
+
+from repro.config import MEDIA_PRESETS
+from repro.runner.manifest import SweepPoint, result_state
+from repro.system import System
+
+
+def _reset_naming_counters() -> None:
+    """Make point output independent of in-process run history.
+
+    Workload modules draw file-set prefixes and process names from
+    module-level ``itertools.count`` counters, and those names leak
+    into lock reports (``eph3.mmap_sem`` vs ``eph0.mmap_sem``).  A
+    point executed third in a sequential parent must produce the same
+    bytes as the same point executed first in a pool worker, so every
+    workload counter restarts from zero before a point runs.
+    """
+    for name, module in list(sys.modules.items()):
+        if (name.startswith("repro.workloads")
+                and hasattr(module, "_run_counter")):
+            module._run_counter = itertools.count()
+
+
+def run_point(payload: Dict[str, object]) -> Dict[str, object]:
+    """Simulate one sweep point; returns its JSON-safe result state."""
+    # Imported lazily: the registry module imports the workloads, and
+    # a spawned worker must finish importing this module first.
+    from repro.runner.sweeps import POINT_RUNNERS
+
+    point = SweepPoint.from_payload(payload)
+    runner = POINT_RUNNERS.get(point.experiment)
+    if runner is None:
+        raise KeyError(f"unknown point experiment {point.experiment!r}; "
+                       f"known: {sorted(POINT_RUNNERS)}")
+    _reset_naming_counters()
+    costs = MEDIA_PRESETS[point.media]()
+    system = System(costs=costs, device_bytes=point.device_gib << 30,
+                    aged=point.aged)
+    started = time.perf_counter()
+    run = runner(system, **point.params)
+    wall = time.perf_counter() - started
+    locks = [lock.report() for lock in system.engine.locks
+             if lock.acquisitions]
+    return result_state(run, system.stats, system.ledger, locks, wall)

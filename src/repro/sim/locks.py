@@ -183,8 +183,16 @@ class RWSemaphore(_LockBase):
             return False
         return not any(k == RWSemaphore.WRITE for _t, k in self._queue)
 
-    def _grant(self, kind: str) -> None:
-        now = self.engine.now
+    def _grant(self, kind: str, at: Optional[float] = None) -> None:
+        """Record a grant starting at ``at`` (default: now).
+
+        A contended handoff wakes the waiter ``lock_bounce`` cycles
+        after the release (the lock word must travel to the waiter's
+        core), so the new hold starts at the wake, not the release —
+        the bounce belongs to the waiter's *wait*, which already spans
+        it, exactly as :meth:`Spinlock.release` accounts it.
+        """
+        now = self.engine.now if at is None else at
         if kind == RWSemaphore.WRITE:
             self._writer_active = True
             self._write_since = now
@@ -226,20 +234,21 @@ class RWSemaphore(_LockBase):
     # -- release -----------------------------------------------------------
     def _wake_eligible(self):
         """Grant to queued threads now allowed to run, FIFO order."""
+        handoff = self.engine.now + self.costs.lock_bounce
         while self._queue:
             thread, kind = self._queue[0]
             if kind == RWSemaphore.WRITE:
                 if self._writer_active or self._active_readers:
                     break
                 self._queue.popleft()
-                self._grant(kind)
+                self._grant(kind, at=handoff)
                 yield Wake(thread, delay=self.costs.lock_bounce)
                 break  # writer is exclusive
             # Reader at head: admit it and any consecutive readers.
             if self._writer_active:
                 break
             self._queue.popleft()
-            self._grant(kind)
+            self._grant(kind, at=handoff)
             yield Wake(thread, delay=self.costs.lock_bounce)
 
     def release_read(self):

@@ -112,6 +112,31 @@ class Stats:
         self.samples.clear()
         self.timings.clear()
 
+    def to_state(self) -> Dict[str, object]:
+        """Lossless, JSON-ready state — counters, full sample series
+        and raw histogram buckets — so a worker process can return its
+        Stats and the parent can :meth:`merge` them bit-identically
+        (the sweep runner's contract)."""
+        return {
+            "counters": dict(self.counters),
+            "samples": {key: [[t, v] for t, v in points]
+                        for key, points in self.samples.items()},
+            "timings": {key: hist.to_state()
+                        for key, hist in self.timings.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Stats":
+        stats = cls()
+        for key, value in state.get("counters", {}).items():
+            stats.counters[key] = float(value)
+        for key, points in state.get("samples", {}).items():
+            stats.samples[key] = [(float(t), float(v))
+                                  for t, v in points]
+        for key, hist in state.get("timings", {}).items():
+            stats.timings[key] = Histogram.from_state(hist)
+        return stats
+
     def to_json(self) -> Dict[str, object]:
         """JSON-ready export: counters + histogram summaries + series
         lengths (full series are omitted; they can be huge)."""

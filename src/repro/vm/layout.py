@@ -53,6 +53,46 @@ class AddressSpaceLayout:
         self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)
         return addr
 
+    def reserve_range(self, addr: int, size: int) -> bool:
+        """Claim the specific range ``[addr, addr+size)`` if it is free.
+
+        Used by in-place growth (mremap): the extension must be taken
+        out of the layout before the VMA's end moves, or a later
+        ``allocate`` could hand the same addresses to another mapping.
+        The range is free when it sits exactly at the allocation cursor
+        or inside a single recycled free block (which is split, its
+        remainder pieces returned to the buckets).  Returns False when
+        the range is unavailable — the caller must fail the grow.
+        """
+        if size <= 0 or size % PAGE_SIZE or addr % PAGE_SIZE:
+            raise AddressSpaceError(
+                f"bad reservation [{addr:#x}, +{size:#x})")
+        end = addr + size
+        if addr == self._cursor:
+            if end > MMAP_TOP:
+                return False
+            self._cursor = end
+            self.allocated_bytes += size
+            self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)
+            return True
+        for key in list(self._free_buckets):
+            bsize, align = key
+            bucket = self._free_buckets[key]
+            for i, bstart in enumerate(bucket):
+                if bstart <= addr and end <= bstart + bsize:
+                    del bucket[i]
+                    if bstart < addr:
+                        self._free_buckets[(addr - bstart, align)] \
+                            .append(bstart)
+                    if end < bstart + bsize:
+                        self._free_buckets[(bstart + bsize - end, align)] \
+                            .append(end)
+                    self.allocated_bytes += size
+                    self.peak_bytes = max(self.peak_bytes,
+                                          self.allocated_bytes)
+                    return True
+        return False
+
     def free(self, addr: int, size: int, align: int = PAGE_SIZE) -> None:
         self._free_buckets[(size, align)].append(addr)
         self.allocated_bytes -= size

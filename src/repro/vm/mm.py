@@ -32,7 +32,11 @@ from __future__ import annotations
 from typing import Optional, Set, Tuple
 
 from repro.config import CostModel
-from repro.errors import InvalidArgumentError, NotSupportedError
+from repro.errors import (
+    AddressSpaceError,
+    InvalidArgumentError,
+    NotSupportedError,
+)
 from repro.fs.base import FileSystem
 from repro.fs.vfs import Inode
 from repro.mem.latency import MemoryModel
@@ -115,6 +119,7 @@ class MMStruct:
         start = self.layout.allocate(length)
         vma = VMA(start, start + length, inode, offset, prot, flags)
         vma.fs = fs
+        vma.mm = self
         self.vmas.insert(start, vma)
         inode.i_mmap.append(vma)
         yield from self.mmap_sem.release_write()
@@ -454,10 +459,19 @@ class MMStruct:
         writeback = min(written, len(dirty) * granule)
         flush_cost = (swept_lines * self.costs.clwb_issue_per_line
                       + self.mem.clwb_flush(int(writeback)))
-        # Write-protect again for every process mapping the file.
+        # Write-protect again for every process mapping the file.  The
+        # reprotect touches *every* owner's page tables, so the
+        # shootdown must reach the union of their active cores — an
+        # IPI only to the caller's cpumask would leave stale writable
+        # TLB entries live in the other processes.
         reprotect = 0.0
         protected_pages = 0
+        flush_cores: Set[int] = set(self.active_cores)
         for mapping in vma.inode.i_mmap:
+            if not mapping.writable:
+                continue
+            if mapping.mm is not None:
+                flush_cores |= mapping.mm.active_cores
             protected_pages += len(mapping.writable) * (
                 (mapping.dirty_granule or PAGE_SIZE) // PAGE_SIZE)
             reprotect += len(mapping.writable) * self.costs.pte_teardown
@@ -466,7 +480,7 @@ class MMStruct:
         yield charge(CostDomain.SYSCALL, "msync-reprotect", reprotect)
         if protected_pages:
             yield from self.shootdowns.flush(
-                self._initiator_core(), self.active_cores, protected_pages)
+                self._initiator_core(), flush_cores, protected_pages)
         self.stats.add(Counter.VM_MSYNC_CALLS)
         self.stats.add(Counter.VM_MSYNC_FLUSHED, len(dirty))
 
@@ -515,6 +529,7 @@ class MMStruct:
             clone = VMA(vma.start, vma.end, vma.inode, vma.file_offset,
                         vma.prot, vma.flags)
             clone.fs = vma.fs
+            clone.mm = child
             clone.dirty_granule = vma.dirty_granule
             clone.leaf_medium = vma.leaf_medium
             child.vmas.insert(start, clone)
@@ -565,6 +580,20 @@ class MMStruct:
                     self._initiator_core(), self.active_cores, pages)
             vma.populated = {p for p in vma.populated
                              if p < new_length // PAGE_SIZE}
+            # Return the dropped tail to the layout so later mmaps can
+            # reuse it and teardown frees exactly what stays mapped.
+            self.layout.free(drop_start, vma.length - new_length)
+        elif new_length > vma.length:
+            # Growing in place is only legal if the extension is still
+            # free in the layout; reserve it (or fail, as Linux does
+            # without MREMAP_MAYMOVE) before moving the VMA's end, or a
+            # later mmap could allocate overlapping addresses.
+            if not self.layout.reserve_range(vma.end,
+                                             new_length - vma.length):
+                yield from self.mmap_sem.release_write()
+                raise AddressSpaceError(
+                    f"mremap: cannot grow [{vma.start:#x}, {vma.end:#x}) "
+                    f"in place; the range above it is already in use")
         vma.end = vma.start + new_length
         yield from self.mmap_sem.release_write()
         self.stats.add(Counter.VM_MREMAP_CALLS)

@@ -90,6 +90,12 @@ class VMA:
         self.zombie = False
         #: The file system serving this mapping (set by MMStruct.mmap).
         self.fs = None
+        #: The memory manager owning this mapping (set by MMStruct.mmap
+        #: / fork and by DaxVM.mmap).  Cross-process operations — e.g.
+        #: an msync reprotecting every mapping of an inode — use it to
+        #: target TLB shootdowns at every owner's cores, not just the
+        #: caller's.
+        self.mm = None
         #: DaxVM O(1) mappings have every translation attached up
         #: front, so demand-fault checks short-circuit on this flag.
         self.fully_populated = False

@@ -1,0 +1,219 @@
+"""Regression tests for the PR 2 accounting and address-space fixes.
+
+Each test pins one bug:
+
+* rwsem handoff: the cache-line bounce on a contended grant is *wait*,
+  not *hold* (it was previously booked as hold);
+* zombie reaping: a zombie VMA is charged for both its PMD attachments
+  and its faulted PTEs (previously ``A or B`` picked one);
+* mremap growth: the extension is reserved in the layout (previously a
+  later mmap could be handed overlapping addresses);
+* msync: the reprotect shootdown reaches every mapping owner's cores
+  (previously only the caller's cpumask got the IPI).
+"""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS
+from repro.core.async_unmap import AsyncUnmapper
+from repro.errors import AddressSpaceError
+from repro.obs import CostDomain
+from repro.sim.engine import Compute, Engine
+from repro.sim.locks import RWSemaphore
+from repro.vm.vma import VMA, MapFlags, Protection
+
+PAGE = 4096
+
+
+def run(system, gen, core=0, process=None):
+    thread = system.spawn(gen, core=core, process=process)
+    system.run()
+    return thread.result
+
+
+def make_file(system, size, path="/f"):
+    def flow():
+        f = yield from system.fs.open(path, create=True)
+        yield from system.fs.write(f, 0, size)
+        return f
+
+    return run(system, flow())
+
+
+# ---------------------------------------------------------------------------
+# Fix 1: rwsem wait-vs-hold accounting on contended handoff.
+# ---------------------------------------------------------------------------
+def test_rwsem_write_hold_excludes_handoff_bounce():
+    """Two 1000-cycle write sections must book exactly 2000 hold cycles.
+
+    Pre-fix, the second writer's hold clock started at the *release*
+    (not the wake ``lock_bounce`` cycles later), so the bounce was
+    double-booked: once as the waiter's wait, once as its hold, and
+    ``write_hold_cycles`` came out at 2000 + lock_bounce.
+    """
+    engine = Engine(4)
+    sem = RWSemaphore(engine, DEFAULT_COSTS, "test")
+    cs = 1000.0
+
+    def writer(delay):
+        yield Compute(delay)
+        yield from sem.acquire_write()
+        yield Compute(cs)
+        yield from sem.release_write()
+
+    engine.spawn(writer(0), core=0)
+    engine.spawn(writer(100), core=1)  # arrives mid-hold, must queue
+    engine.run()
+    assert sem.write_acquisitions == 2
+    assert sem.contended_acquisitions == 1
+    assert sem.write_hold_cycles == pytest.approx(2 * cs)
+    # The waiter's wait spans the handoff bounce.
+    assert sem.write_wait_cycles >= DEFAULT_COSTS.lock_bounce
+
+
+def test_rwsem_reader_batch_hold_excludes_handoff_bounce():
+    """Readers granted on a writer's release hold from their wake."""
+    engine = Engine(4)
+    sem = RWSemaphore(engine, DEFAULT_COSTS, "test")
+    cs = 500.0
+
+    def writer():
+        yield from sem.acquire_write()
+        yield Compute(1000)
+        yield from sem.release_write()
+
+    def reader():
+        yield Compute(100)  # queue behind the active writer
+        yield from sem.acquire_read()
+        yield Compute(cs)
+        yield from sem.release_read()
+
+    engine.spawn(writer(), core=0)
+    engine.spawn(reader(), core=1)
+    engine.spawn(reader(), core=2)
+    engine.run()
+    # Both readers wake together and overlap fully: the shared reader
+    # hold is one critical section, counted from the wake.
+    assert sem.read_hold_cycles == pytest.approx(cs)
+
+
+# ---------------------------------------------------------------------------
+# Fix 2: zombie teardown charges PMD attachments AND faulted PTEs.
+# ---------------------------------------------------------------------------
+def test_zombie_reap_charges_attachments_and_ptes(system):
+    proc = system.new_process()
+    unmapper = AsyncUnmapper(system.engine, proc.mm, system.costs,
+                             system.stats, batch_pages=1 << 20)
+    vma = VMA(0x7F10_0000_0000, 0x7F10_0000_0000 + 10 * PAGE,
+              None, 0, Protection.READ, MapFlags.SHARED)
+    vma.populated = set(range(10))
+    vma.attachments = [(vma.start, 1, object()), (vma.start, 1, object())]
+    vma.mapped_pages = 10
+
+    def releaser(_vma):
+        return
+        yield  # pragma: no cover - generator shape only
+
+    def flow():
+        yield from unmapper.defer(vma, releaser)
+        yield from unmapper.reap()
+
+    run(system, flow())
+    charged = system.ledger.event_total(CostDomain.SYSCALL,
+                                        "zombie-teardown")
+    expected = (2 * system.costs.pmd_attach
+                + 10 * system.costs.pte_teardown)
+    # Pre-fix, ``A or B`` charged only the attachment term.
+    assert charged == pytest.approx(expected)
+
+
+# ---------------------------------------------------------------------------
+# Fix 3: mremap growth reserves the extension in the layout.
+# ---------------------------------------------------------------------------
+def test_mremap_grow_reserves_address_space(system):
+    f = make_file(system, 64 * PAGE)
+    proc = system.new_process()
+
+    def flow():
+        vma = yield from proc.mm.mmap(system.fs, f.inode, 0, 16 * PAGE,
+                                      Protection.READ, MapFlags.SHARED)
+        yield from proc.mm.mremap(vma, 32 * PAGE)
+        other = yield from proc.mm.mmap(system.fs, f.inode, 0, 16 * PAGE,
+                                        Protection.READ, MapFlags.SHARED)
+        return vma, other
+
+    vma, other = run(system, flow())
+    assert vma.length == 32 * PAGE
+    # Pre-fix, the layout cursor never moved and the second mmap was
+    # handed addresses inside the grown mapping.
+    assert other.end <= vma.start or other.start >= vma.end
+
+
+def test_mremap_grow_fails_when_range_is_taken(system):
+    f = make_file(system, 64 * PAGE)
+    proc = system.new_process()
+
+    def flow():
+        vma = yield from proc.mm.mmap(system.fs, f.inode, 0, 16 * PAGE,
+                                      Protection.READ, MapFlags.SHARED)
+        blocker = yield from proc.mm.mmap(system.fs, f.inode, 0,
+                                          16 * PAGE, Protection.READ,
+                                          MapFlags.SHARED)
+        assert blocker.start == vma.end  # bump allocation is adjacent
+        with pytest.raises(AddressSpaceError):
+            yield from proc.mm.mremap(vma, 32 * PAGE)
+        assert vma.length == 16 * PAGE  # unchanged after the failure
+        # The semaphore was released on the error path.
+        assert not proc.mm.mmap_sem.writer_active
+
+    run(system, flow())
+
+
+def test_mremap_shrink_returns_tail_to_layout(system):
+    f = make_file(system, 64 * PAGE)
+    proc = system.new_process()
+
+    def flow():
+        vma = yield from proc.mm.mmap(system.fs, f.inode, 0, 32 * PAGE,
+                                      Protection.READ, MapFlags.SHARED)
+        yield from proc.mm.mremap(vma, 16 * PAGE)
+        reused = yield from proc.mm.mmap(system.fs, f.inode, 0,
+                                         16 * PAGE, Protection.READ,
+                                         MapFlags.SHARED)
+        return vma, reused
+
+    vma, reused = run(system, flow())
+    # The dropped tail is recycled for the next same-size mapping.
+    assert reused.start == vma.end
+
+
+# ---------------------------------------------------------------------------
+# Fix 4: msync shootdown reaches every mapping owner's cores.
+# ---------------------------------------------------------------------------
+def test_msync_flushes_other_processes_cores(system):
+    f = make_file(system, 8 * PAGE)
+    proc_a = system.new_process("procA")
+    proc_b = system.new_process("procB", aslr_seed=7)
+
+    vmas = {}
+
+    def map_and_dirty(proc, key):
+        vma = yield from proc.mm.mmap(system.fs, f.inode, 0, 8 * PAGE,
+                                      Protection.rw(), MapFlags.SHARED)
+        yield from proc.mm.access(vma, 0, 8 * PAGE, write=True)
+        vmas[key] = vma
+
+    run(system, map_and_dirty(proc_b, "b"), core=3, process=proc_b)
+    run(system, map_and_dirty(proc_a, "a"), core=0, process=proc_a)
+    assert vmas["b"].writable  # B holds write-enabled PTEs
+
+    before = system.engine.cores[3].total_interrupts
+
+    def do_msync():
+        yield from proc_a.mm.msync(vmas["a"])
+
+    run(system, do_msync(), core=0, process=proc_a)
+    # A's msync reprotected B's mapping too, so B's core must receive
+    # a shootdown IPI (pre-fix only A's cpumask {0} was flushed).
+    assert system.engine.cores[3].total_interrupts > before
+    assert not vmas["b"].writable

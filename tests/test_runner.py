@@ -1,0 +1,176 @@
+"""Tests for the parallel sweep runner and its result cache.
+
+The runner's contract is exactness: a point's result must be the same
+whether it was simulated sequentially, simulated in a worker process,
+or replayed from the content-addressed cache — and merged sweep-level
+``Stats``/``Ledger`` must come out identical in all three cases.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import CostDomain
+from repro.obs.histogram import Histogram
+from repro.obs.ledger import Ledger
+from repro.runner import (
+    ResultCache,
+    SweepPoint,
+    build_sweep,
+    code_fingerprint,
+    run_sweep,
+)
+from repro.runner.manifest import Sweep
+from repro.sim.stats import Stats
+
+
+def tiny_sweep() -> Sweep:
+    """A fast two-series ephemeral sweep (4 points, small files)."""
+    points = []
+    for threads in (1, 2):
+        for interface in ("read", "daxvm"):
+            points.append(SweepPoint(
+                experiment="ephemeral", series=interface, x=threads,
+                params={"file_size": 8 << 10, "num_files": 16,
+                        "num_threads": threads, "interface": interface},
+                media="optane", device_gib=1, aged=False))
+    return Sweep(name="tiny", title="tiny", points=points, axis="threads")
+
+
+def canon(point_result) -> str:
+    return json.dumps(point_result.comparable_state(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Serialisation round-trips (the cache's correctness foundation).
+# ---------------------------------------------------------------------------
+def test_histogram_state_roundtrip_through_json():
+    hist = Histogram()
+    for v in (1.0, 5.5, 42.0, 1e6, 0.0):
+        hist.record(v)
+    wire = json.loads(json.dumps(hist.to_state()))
+    back = Histogram.from_state(wire)
+    assert back.to_state() == hist.to_state()
+    assert back.count == hist.count
+    assert back.percentile(50) == hist.percentile(50)
+
+
+def test_stats_state_roundtrip_and_merge():
+    stats = Stats()
+    stats.add("vm.faults", 3)
+    stats.sample("throughput", 10.0, 1.5)
+    stats.observe("span.op", 123.4)
+    wire = json.loads(json.dumps(stats.to_state()))
+    back = Stats.from_state(wire)
+    assert back.to_state() == stats.to_state()
+    merged = Stats()
+    merged.merge(back)
+    merged.merge(Stats.from_state(wire))
+    assert merged.get("vm.faults") == 6
+
+
+def test_ledger_state_roundtrip_preserves_events():
+    ledger = Ledger()
+    ledger.record("t0", CostDomain.SYSCALL, "mmap", 100.0)
+    ledger.record("t1", CostDomain.LOCK_WAIT, "sem/odd-name", 25.0)
+    wire = json.loads(json.dumps(ledger.to_state()))
+    back = Ledger.from_state(wire)
+    assert back.to_state() == ledger.to_state()
+    assert back.event_total(CostDomain.LOCK_WAIT, "sem/odd-name") == 25.0
+
+
+# ---------------------------------------------------------------------------
+# Cache keys.
+# ---------------------------------------------------------------------------
+def test_cache_key_stability_and_sensitivity():
+    fp = code_fingerprint()
+    a = tiny_sweep().points[0]
+    same = tiny_sweep().points[0]
+    assert a.cache_key(fp) == same.cache_key(fp)
+    changed = tiny_sweep().points[0]
+    changed.params["num_files"] = 17
+    assert changed.cache_key(fp) != a.cache_key(fp)
+    other_media = tiny_sweep().points[0]
+    other_media.media = "fast-nvm"
+    assert other_media.cache_key(fp) != a.cache_key(fp)
+    assert a.cache_key("deadbeef") != a.cache_key(fp)
+
+
+# ---------------------------------------------------------------------------
+# Cache round-trip: warm replay is exact.
+# ---------------------------------------------------------------------------
+def test_cache_roundtrip_is_exact(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_sweep(tiny_sweep(), jobs=1, cache=cache)
+    assert cold.misses == len(cold.points) and cold.hits == 0
+    warm = run_sweep(tiny_sweep(), jobs=1,
+                     cache=ResultCache(tmp_path / "cache"))
+    assert warm.hits == len(warm.points) and warm.misses == 0
+    assert all(pr.cached for pr in warm.points)
+    for a, b in zip(cold.points, warm.points):
+        assert canon(a) == canon(b)
+    assert warm.merged_stats().to_json() == cold.merged_stats().to_json()
+    assert (warm.merged_ledger().to_json()
+            == cold.merged_ledger().to_json())
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = tiny_sweep().points[0].cache_key(code_fingerprint())
+    cache.put(key, {"bogus": True})
+    (tmp_path / "cache" / f"{key}.json").write_text("{not json")
+    assert cache.get(key) is None
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution is bit-identical to sequential.
+# ---------------------------------------------------------------------------
+def test_parallel_matches_sequential():
+    seq = run_sweep(tiny_sweep(), jobs=1)
+    par = run_sweep(tiny_sweep(), jobs=4)
+    assert par.hits == 0  # no cache involved
+    for a, b in zip(seq.points, par.points):
+        assert a.point.label == b.point.label
+        assert canon(a) == canon(b)
+    assert par.merged_stats().to_json() == seq.merged_stats().to_json()
+    assert (par.merged_ledger().to_json()
+            == seq.merged_ledger().to_json())
+
+
+def test_sweep_result_series_and_table():
+    result = run_sweep(tiny_sweep(), jobs=1)
+    series = result.series()
+    assert [s.label for s in series] == ["read", "daxvm"]
+    assert all(len(s.points) == 2 for s in series)
+    table = result.table()
+    assert len(table.rows) == 4
+    assert result.hit_ratio == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Registered sweeps and the CLI entry point.
+# ---------------------------------------------------------------------------
+def test_build_sweep_registry():
+    sweep = build_sweep("apache", ops=8, size=32 << 10, media="optane",
+                        device_gib=1, aged=False)
+    assert len(sweep.points) == 12
+    with pytest.raises(KeyError):
+        build_sweep("nope", ops=8, size=32 << 10, media="optane",
+                    device_gib=1, aged=False)
+
+
+def test_cli_sweep_smoke(tmp_path, capsys):
+    argv = ["sweep", "apache", "--ops", "8", "--device", "1",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+    assert cli_main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "0/12 points served from cache" in cold
+    assert cli_main(argv + ["--verify-cache"]) == 0
+    warm = capsys.readouterr().out
+    assert "12/12 points served from cache" in warm
+    assert "cache verify OK" in warm
+
+
+def test_cli_sweep_requires_name():
+    assert cli_main(["sweep"]) == 2
