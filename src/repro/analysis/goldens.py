@@ -1,0 +1,85 @@
+"""Fixed-configuration golden runs for the 1-node equivalence gate.
+
+The topology refactor (DESIGN.md §8) promises that the default 1-node
+machine reproduces the pre-refactor simulator *bit-identically*: same
+cycle counts, same Stats counters, same Ledger attribution, same
+histogram buckets.  This module pins down what "the same" means — two
+fixed-seed runs (an apache/fig-8a point and a scaling/fig-1b point)
+whose complete observable state is serialised to canonical JSON.
+
+``python -m repro.analysis.goldens`` (re)captures the golden file;
+``tests/test_golden_equivalence.py`` replays the same configs and
+fails on any byte of drift.  Recapturing is only legitimate when a PR
+*intentionally* changes simulated numbers — say so in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+GOLDEN_PATH = (Path(__file__).resolve().parents[3]
+               / "tests" / "golden" / "numa_equivalence.json")
+
+
+def _run_state(run, system) -> Dict[str, object]:
+    """Everything observable about one run, JSON-canonical."""
+    return {
+        "label": run.label,
+        "cycles": run.cycles,
+        "operations": run.operations,
+        "bytes_processed": run.bytes_processed,
+        "counters": dict(sorted(run.counters.items())),
+        "domains": dict(sorted(run.domains.items())),
+        "stats": system.stats.to_json(),
+        "ledger": system.ledger.to_json(),
+    }
+
+
+def golden_runs() -> Dict[str, Dict[str, object]]:
+    """Execute the two pinned configurations on a fresh simulator."""
+    # Imported here so the module is importable without dragging the
+    # whole workload stack in (the CLI imports analysis.report early).
+    from repro.runner.worker import _reset_naming_counters
+    from repro.system import System
+    from repro.workloads import (
+        ApacheConfig,
+        EphemeralConfig,
+        Interface,
+        ServerInterface,
+        run_apache,
+        run_ephemeral,
+    )
+
+    out: Dict[str, Dict[str, object]] = {}
+
+    _reset_naming_counters()
+    system = System(device_bytes=2 << 30, aged=True)
+    run = run_apache(system, ApacheConfig(
+        num_workers=4, requests=160,
+        interface=ServerInterface.DAXVM))
+    out["apache"] = _run_state(run, system)
+
+    _reset_naming_counters()
+    system = System(device_bytes=2 << 30, aged=True)
+    run = run_ephemeral(system, EphemeralConfig(
+        file_size=32 << 10, num_files=120, num_threads=4,
+        interface=Interface.MMAP))
+    out["scaling"] = _run_state(run, system)
+    return out
+
+
+def golden_json() -> str:
+    return json.dumps(golden_runs(), indent=2, sort_keys=True) + "\n"
+
+
+def main() -> int:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(golden_json())
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - capture entry point
+    raise SystemExit(main())

@@ -21,6 +21,8 @@ from repro.analysis.report import (
 )
 from repro.analysis.results import Table
 from repro.config import MEDIA_PRESETS
+from repro.obs import Counter
+from repro.topology import PLACEMENTS, MachineTopology
 from repro.runner import (
     DEFAULT_CACHE_DIR,
     ResultCache,
@@ -72,8 +74,11 @@ def perf_target(name: str, help_text: str):
 
 def _system(args, **kw) -> System:
     costs = MEDIA_PRESETS[args.media]()
+    topology = (MachineTopology.split(costs.machine, args.nodes)
+                if args.nodes > 1 else None)
     return System(costs=costs, device_bytes=args.device << 30,
-                  aged=not args.fresh, **kw)
+                  aged=not args.fresh, topology=topology,
+                  placement=args.policy, pin_node=args.pin_node, **kw)
 
 
 @experiment("ephemeral", "read-once file access across interfaces")
@@ -263,6 +268,56 @@ def _perf_fig8a(args):
     print(format_domain_breakdown("cycles by cost domain", r.domains))
 
 
+@perf_target("numa", "local/remote access mix on a multi-socket machine")
+def _perf_numa(args):
+    """Where do cross-socket cycles go?  Runs the pinned read-once
+    mmap workload under the requested placement and reports the
+    local/remote access split, cross-socket shootdown IPIs and the
+    remote-access cycles the ledger attributes to the numa domain."""
+    if args.nodes < 2:
+        args.nodes = 2
+    system = _system(args)
+    threads = args.threads if args.threads > 1 else 4
+    cfg = EphemeralConfig(file_size=args.size, num_files=args.ops,
+                          num_threads=threads, interface=Interface.MMAP,
+                          pin_node=args.pin_node)
+    r = run_ephemeral(system, cfg)
+    counters = {c.value: system.stats.get(c) for c in (
+        Counter.NUMA_LOCAL_ACCESSES, Counter.NUMA_REMOTE_ACCESSES,
+        Counter.NUMA_LOCAL_BYTES, Counter.NUMA_REMOTE_BYTES,
+        Counter.NUMA_CROSS_IPIS, Counter.NUMA_CROSS_IPI_CYCLES)}
+    if args.json:
+        print(json.dumps({
+            "target": "numa",
+            "label": r.label,
+            "nodes": args.nodes,
+            "placement": args.policy,
+            "pin_node": args.pin_node,
+            "cycles": r.cycles,
+            "domains": r.domains,
+            "numa_counters": counters,
+            "stats": system.stats.to_json(),
+            "ledger": system.ledger.to_json(),
+        }, indent=2, sort_keys=True))
+        return
+    print(format_domain_breakdown(
+        f"mmap read-once, {args.nodes} sockets, placement="
+        f"{args.policy}, threads pinned to node {args.pin_node} "
+        f"(cycles by cost domain)", r.domains))
+    accesses = (counters["numa.local_accesses"]
+                + counters["numa.remote_accesses"])
+    remote_share = (counters["numa.remote_accesses"] / accesses
+                    if accesses else 0.0)
+    print(f"accesses: {counters['numa.local_accesses']:.0f} local, "
+          f"{counters['numa.remote_accesses']:.0f} remote "
+          f"({remote_share * 100:.1f}% remote)")
+    print(f"bytes:    {counters['numa.local_bytes'] / 1e6:.1f} MB local, "
+          f"{counters['numa.remote_bytes'] / 1e6:.1f} MB remote")
+    print(f"shootdowns: {counters['numa.cross_socket_ipis']:.0f} "
+          f"cross-socket IPIs, "
+          f"{counters['numa.cross_socket_ipi_cycles']:.0f} cycles")
+
+
 def _sweep_cmd(args) -> int:
     """``python -m repro sweep <name>`` — parallel cached execution."""
     result = _run_named_sweep(args, args.target)
@@ -326,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
                         default="ext4")
     parser.add_argument("--media", choices=sorted(MEDIA_PRESETS),
                         default="optane")
+    parser.add_argument("--nodes", type=int, default=1,
+                        help="NUMA sockets (1 = uniform machine)")
+    parser.add_argument("--policy", choices=PLACEMENTS, default="local",
+                        help="file/device placement relative to "
+                             "--pin-node (multi-socket only)")
+    parser.add_argument("--pin-node", type=int, default=0,
+                        help="socket the placement is defined against")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep execution")
     parser.add_argument("--no-cache", action="store_true",

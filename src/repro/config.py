@@ -275,6 +275,29 @@ DEFAULT_MACHINE = DEFAULT_COSTS.machine
 
 
 # ---------------------------------------------------------------------------
+# NUMA cross-socket penalties (defaults for repro.topology).
+#
+# Sources: Yang et al. (FAST'20) measure remote-socket Optane loads at
+# ~2-3x local latency and remote streaming bandwidth at roughly half
+# of local (reads) to a third (stores); "Emulating Hybrid Memory on
+# NUMA Hardware" builds its emulation on the same DRAM asymmetries
+# (~1.6-1.8x latency over UPI).  Cross-socket IPIs add the UPI hop to
+# the APIC round trip (Amit et al., EuroSys'20 report thousands of
+# cycles end to end).
+# ---------------------------------------------------------------------------
+#: Remote / local DRAM load-latency ratio across the UPI link.
+NUMA_REMOTE_DRAM_LATENCY = 1.7
+#: Remote / local Optane load-latency ratio.
+NUMA_REMOTE_PMEM_LATENCY = 2.3
+#: Remote / local DRAM streaming-bandwidth ratio.
+NUMA_REMOTE_DRAM_BW = 0.60
+#: Remote / local Optane streaming-bandwidth ratio.
+NUMA_REMOTE_PMEM_BW = 0.45
+#: Extra initiator cycles per cross-socket IPI target.
+NUMA_IPI_CROSS_SOCKET_EXTRA = 900.0
+
+
+# ---------------------------------------------------------------------------
 # Media presets beyond Optane (paper §VI: DaxVM is relevant for any
 # byte-addressable storage — CXL memory-semantic SSDs, future NVM).
 # ---------------------------------------------------------------------------

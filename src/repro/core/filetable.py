@@ -29,7 +29,7 @@ from repro.errors import SimulationError
 from repro.fs.base import FileSystem
 from repro.fs.block import BLOCK_SIZE, BlockDevice
 from repro.fs.vfs import Inode
-from repro.mem.physmem import Medium, PhysicalMemory
+from repro.mem.physmem import AllocPolicy, Medium, PhysicalMemory
 from repro.obs import Counter
 from repro.paging.flags import PageFlags
 from repro.paging.pagetable import (
@@ -61,18 +61,26 @@ class _DeviceFrameAllocator:
         return self.device.frame_of(runs[0][0])
 
     def free_frame(self, frame: int) -> None:
-        self.device.free(frame - self.device.base_frame, 1)
+        self.device.free(self.device.block_of(frame), 1)
         self.blocks_allocated -= 1
 
 
 class _DramFrameAllocator:
-    """Adapter: allocate page-table frames from DRAM."""
+    """Adapter: allocate page-table frames from DRAM.
 
-    def __init__(self, physmem: PhysicalMemory):
+    Volatile file tables are placed on the node hosting the file's
+    data (``node``), so walks from threads near the file stay local;
+    ``None`` keeps the legacy node-0 allocation.
+    """
+
+    def __init__(self, physmem: PhysicalMemory,
+                 node: Optional[int] = None):
         self.physmem = physmem
+        self.node = node
 
     def alloc_frame(self, medium: Medium) -> int:
-        return self.physmem.alloc_frame(Medium.DRAM)
+        return self.physmem.alloc_frame(Medium.DRAM, node=self.node,
+                                        policy=AllocPolicy.PREFERRED)
 
     def free_frame(self, frame: int) -> None:
         self.physmem.free_frame(frame)
@@ -243,12 +251,16 @@ class FileTableManager:
     """Builds, maintains and migrates file tables for one file system."""
 
     def __init__(self, fs: FileSystem, physmem: PhysicalMemory,
-                 costs: CostModel, stats: Stats):
+                 costs: CostModel, stats: Stats,
+                 table_node: Optional[int] = None):
         self.fs = fs
         self.physmem = physmem
         self.costs = costs
         self.stats = stats
-        self._dram_alloc = _DramFrameAllocator(physmem)
+        #: ``table_node`` places volatile (DRAM) tables near the file
+        #: data's socket; persistent tables inherit the device's own
+        #: placement through its metadata blocks.
+        self._dram_alloc = _DramFrameAllocator(physmem, node=table_node)
         self._pmem_alloc = _DeviceFrameAllocator(fs.device)
         fs.alloc_hooks.append(self._on_alloc)
         fs.free_hooks.append(self._on_free)

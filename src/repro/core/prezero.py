@@ -59,6 +59,11 @@ class PreZeroDaemon:
         self.blocks_zeroed = 0
         fs.free_interceptor = self.intercept
         self._thread = None
+        #: Node whose media the daemon is currently disturbing (None
+        #: when idle).  Interference is entered/exited — never written
+        #: as a scalar — so concurrent daemons on other nodes keep
+        #: their own penalties.
+        self._active_node: "int | None" = None
 
     # -- FS integration ---------------------------------------------------
     def intercept(self, runs: List[Tuple[int, int]]) -> bool:
@@ -90,18 +95,44 @@ class PreZeroDaemon:
                 return lst.popleft()
         raise LookupError
 
+    def _node_of_block(self, block: int) -> int:
+        """NUMA node whose PMem a device block occupies (0 when the
+        machine is uniform or the frame map is not wired up)."""
+        if (self.mem.topology is None or self.mem.topology.num_nodes == 1
+                or self.mem.node_of_frame is None):
+            return 0
+        try:
+            return self.mem.node_of_frame(self.fs.device.frame_of(block))
+        except Exception:
+            return 0
+
+    def _set_interfering(self, node: "int | None") -> None:
+        """Move the daemon's media-interference claim between nodes
+        (``None`` releases it) via counted enter/exit — an idle tick
+        can no longer clobber another stream's penalty."""
+        if node == self._active_node:
+            return
+        if self._active_node is not None:
+            self.mem.exit_interference(PreZeroDaemon.MEDIA_INTERFERENCE,
+                                       self._active_node)
+        if node is not None:
+            self.mem.enter_interference(PreZeroDaemon.MEDIA_INTERFERENCE,
+                                        node)
+        self._active_node = node
+
     def _run(self):
         while True:
             try:
                 start, length = self._next_run()
             except LookupError:
-                self.mem.interference = 1.0
+                self._set_interfering(None)
                 yield charge(CostDomain.ZEROING, "prezero-idle",
                              PreZeroDaemon.IDLE_PERIOD)
                 continue
             # While the daemon streams nt-stores, concurrent PMem
-            # traffic pays the media-interference penalty.
-            self.mem.interference = PreZeroDaemon.MEDIA_INTERFERENCE
+            # traffic on the same socket pays the media-interference
+            # penalty.
+            self._set_interfering(self._node_of_block(start))
             nbytes = length * BLOCK_SIZE
             delay = self.throttle.delay_for(nbytes, self.engine.now)
             zero_cycles = self.mem.zero(nbytes)
@@ -112,7 +143,7 @@ class PreZeroDaemon:
             self.blocks_zeroed += length
             self.stats.add(Counter.DAXVM_BLOCKS_PREZEROED, length)
             if self._pending_blocks == 0:
-                self.mem.interference = 1.0
+                self._set_interfering(None)
 
     # -- experiment helpers -------------------------------------------------
     def drain_now(self) -> int:

@@ -174,8 +174,14 @@ def _clone_device(device: BlockDevice) -> BlockDevice:
 
 
 def aged_device(size_bytes: int, profile: AgingProfile = AgingProfile(),
-                base_frame: int = 1 << 30) -> BlockDevice:
-    """An aged block device (memoised per (size, profile, base))."""
+                base_frame: int = 1 << 30,
+                frame_map=None) -> BlockDevice:
+    """An aged block device (memoised per (size, profile, base)).
+
+    Aging operates purely on block numbers, so the NUMA ``frame_map``
+    (if any) is attached to the clone after the fact — the same aged
+    image serves every placement.
+    """
     key = (size_bytes, profile, base_frame)
     if key not in _AGED_CACHE:
         device = BlockDevice(size_bytes, base_frame=base_frame)
@@ -184,4 +190,6 @@ def aged_device(size_bytes: int, profile: AgingProfile = AgingProfile(),
         else:
             age_filesystem(device, profile)
         _AGED_CACHE[key] = device
-    return _clone_device(_AGED_CACHE[key])
+    clone = _clone_device(_AGED_CACHE[key])
+    clone.frame_map = frame_map
+    return clone

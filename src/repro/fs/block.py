@@ -44,11 +44,16 @@ class FreeExtent:
 class BlockDevice:
     """A PMem-backed block device with extent allocation."""
 
-    def __init__(self, size_bytes: int, base_frame: int = 1 << 30):
+    def __init__(self, size_bytes: int, base_frame: int = 1 << 30,
+                 frame_map=None):
         if size_bytes % BLOCK_SIZE:
             raise ValueError("device size must be block aligned")
         self.total_blocks = size_bytes // BLOCK_SIZE
         self.base_frame = base_frame
+        #: Optional non-linear block->frame map (an interleaved NUMA
+        #: placement, repro.topology.InterleaveMap).  ``None`` keeps
+        #: the historical linear ``base_frame + block`` layout.
+        self.frame_map = frame_map
         #: Free extents sorted by start block.
         self._free: List[FreeExtent] = [FreeExtent(0, self.total_blocks)]
         self._starts: List[int] = [0]
@@ -64,7 +69,16 @@ class BlockDevice:
     # -- helpers -------------------------------------------------------------
     def frame_of(self, block: int) -> int:
         """The physical frame number backing a block."""
+        if self.frame_map is not None:
+            return self.frame_map.frame_of(block)
         return self.base_frame + block
+
+    def block_of(self, frame: int) -> int:
+        """Inverse of :meth:`frame_of` (needed when metadata blocks
+        are freed by frame number)."""
+        if self.frame_map is not None:
+            return self.frame_map.block_of(frame)
+        return frame - self.base_frame
 
     @property
     def used_blocks(self) -> int:

@@ -16,8 +16,14 @@ the paper:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
 from repro.config import CostModel
+from repro.errors import InvalidArgumentError
 from repro.mem.physmem import Medium
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology import MachineTopology
 
 
 class SharedBandwidth:
@@ -48,45 +54,151 @@ class MemoryModel:
 
     def __init__(self, costs: CostModel):
         self.costs = costs
-        #: Device-level contention; set by System, absent in unit use.
-        self.shared: "SharedBandwidth | None" = None
-        #: Optane media interference multiplier: background write
-        #: streams (pre-zeroing) disturb concurrent accesses beyond
-        #: their bandwidth share (FAST'20's mixed-traffic penalty).
-        #: Raised by the pre-zero daemon while it is actively zeroing.
-        self.interference: float = 1.0
+        #: Per-node device-level contention pools; set by System,
+        #: absent in unit use.  Node 0's pool doubles as the legacy
+        #: single-socket ``shared`` attribute.
+        self._pools: List[Optional[SharedBandwidth]] = [None]
+        #: Optane media interference: background write streams
+        #: (pre-zeroing) disturb concurrent accesses beyond their
+        #: bandwidth share (FAST'20's mixed-traffic penalty).  Kept as
+        #: a per-node stack of active factors so multiple background
+        #: streams compose (enter/exit) instead of clobbering a scalar.
+        self._interference: List[List[float]] = [[]]
+        #: Static NUMA description + frame->node recovery; wired by
+        #: System via :meth:`set_topology`, absent in unit use (which
+        #: then behaves exactly like the uniform pre-topology model).
+        self.topology: Optional["MachineTopology"] = None
+        self.node_of_frame: Optional[Callable[[int], int]] = None
+
+    # -- NUMA wiring --------------------------------------------------------
+    def set_topology(self, topology: "MachineTopology",
+                     node_of_frame: Callable[[int], int]) -> None:
+        """Teach the model the socket layout and frame ownership."""
+        self.topology = topology
+        self.node_of_frame = node_of_frame
+        grow = topology.num_nodes - len(self._interference)
+        for _ in range(grow):
+            self._interference.append([])
+
+    def numa_factors(self, core: Optional[int], frame: Optional[int],
+                     medium: Medium) -> Tuple[float, float, int, bool]:
+        """(latency factor, bandwidth factor, target node, is remote)
+        for a core touching a frame.
+
+        Uniform (no/1-node topology, or caller without placement info)
+        degenerates to ``(1.0, 1.0, 0, False)`` — and multiplying by
+        exactly 1.0 is bit-exact, so the uniform path reproduces the
+        pre-topology numbers.
+        """
+        if (self.topology is None or self.topology.num_nodes == 1
+                or core is None or frame is None):
+            return 1.0, 1.0, 0, False
+        core_node = self.topology.node_of_core(core)
+        target = (self.node_of_frame(frame)
+                  if self.node_of_frame is not None else core_node)
+        return (self.topology.latency_factor(core_node, target, medium),
+                self.topology.bandwidth_factor(core_node, target, medium),
+                target, core_node != target)
+
+    # -- per-node device bandwidth pools ------------------------------------
+    @property
+    def shared(self) -> Optional["SharedBandwidth"]:
+        """Node 0's aggregate-bandwidth pool (legacy single-socket
+        name; assignment rewires the model to one pool)."""
+        return self._pools[0]
+
+    @shared.setter
+    def shared(self, pool: Optional["SharedBandwidth"]) -> None:
+        self._pools = [pool]
+
+    def set_pools(self, pools: List["SharedBandwidth"]) -> None:
+        """Install one aggregate-bandwidth pool per NUMA node."""
+        self._pools = list(pools)
+
+    def pool(self, node: int) -> Optional["SharedBandwidth"]:
+        # Device frames past the modelled regions clamp to the last
+        # node (mirrors PhysicalMemory.node_of for synthetic devices).
+        return self._pools[min(node, len(self._pools) - 1)]
 
     def device_delay(self, read_bytes: float, write_bytes: float,
-                     now: float) -> float:
-        """Extra wait imposed by aggregate PMem bandwidth (0 if the
-        shared model is not wired up)."""
-        if self.shared is None:
+                     now: float, node: int = 0) -> float:
+        """Extra wait imposed by one node's aggregate PMem bandwidth
+        (0 if the shared model is not wired up)."""
+        pool = self.pool(node)
+        if pool is None:
             return 0.0
-        return self.shared.delay(read_bytes, write_bytes, now)
+        return pool.delay(read_bytes, write_bytes, now)
+
+    # -- media interference (enter/exit, per node) --------------------------
+    @property
+    def interference(self) -> float:
+        """Node 0's effective interference factor (legacy name)."""
+        return self.interference_for(0)
+
+    @interference.setter
+    def interference(self, value: float) -> None:
+        # Legacy scalar assignment: 1.0 clears node 0, anything else
+        # replaces node 0's stack with that single factor.
+        self._interference[0] = [] if value == 1.0 else [float(value)]
+
+    def interference_for(self, node: int) -> float:
+        """Effective factor on a node: the worst active stream, 1.0
+        when nothing is interfering."""
+        if node >= len(self._interference):
+            return 1.0
+        stack = self._interference[node]
+        return max(stack) if stack else 1.0
+
+    def enter_interference(self, factor: float, node: int = 0) -> None:
+        """A background stream starts disturbing a node's media."""
+        while node >= len(self._interference):
+            self._interference.append([])
+        self._interference[node].append(float(factor))
+
+    def exit_interference(self, factor: float, node: int = 0) -> None:
+        """The matching end of :meth:`enter_interference` — removes one
+        instance of the factor, leaving other streams' penalties
+        untouched (raises if there is nothing to exit)."""
+        try:
+            self._interference[node].remove(float(factor))
+        except (IndexError, ValueError):
+            raise InvalidArgumentError(
+                f"exit_interference({factor}, node={node}) without a "
+                f"matching enter") from None
+
+    def reset_interference(self) -> None:
+        """Forget all active streams (power cycle)."""
+        self._interference = [[] for _ in self._interference]
 
     # -- scalar access ------------------------------------------------------
-    def load_latency(self, medium: Medium, cached: bool = False) -> float:
-        """Latency of one dependent load from ``medium``."""
+    def load_latency(self, medium: Medium, cached: bool = False,
+                     factor: float = 1.0) -> float:
+        """Latency of one dependent load from ``medium``; ``factor``
+        is the NUMA latency multiplier (cache hits never pay it)."""
         if cached:
             return self.costs.cache_load_latency
         if medium is Medium.DRAM:
-            return self.costs.dram_load_latency
-        return self.costs.pmem_load_latency
+            return self.costs.dram_load_latency * factor
+        return self.costs.pmem_load_latency * factor
 
     # -- streaming access ---------------------------------------------------
     def stream_read(self, nbytes: int, medium: Medium,
-                    cached: bool = False) -> float:
-        """Sequentially scan ``nbytes`` (AVX-512 width reads)."""
+                    cached: bool = False, node: int = 0,
+                    bw_factor: float = 1.0) -> float:
+        """Sequentially scan ``nbytes`` (AVX-512 width reads) living on
+        ``node``; ``bw_factor`` < 1 models the off-socket link."""
         if cached:
             bandwidth = self.costs.dram_read_bw * 2.5  # LLC-resident
         elif medium is Medium.DRAM:
-            bandwidth = self.costs.dram_read_bw
+            bandwidth = self.costs.dram_read_bw * bw_factor
         else:
-            bandwidth = self.costs.pmem_read_bw / self.interference
+            bandwidth = (self.costs.pmem_read_bw * bw_factor
+                         / self.interference_for(node))
         return self.costs.copy_cycles(nbytes, bandwidth)
 
     def stream_write(self, nbytes: int, medium: Medium,
-                     ntstore: bool = True) -> float:
+                     ntstore: bool = True, node: int = 0,
+                     bw_factor: float = 1.0) -> float:
         """Write ``nbytes`` sequentially.
 
         ``ntstore=True`` streams past the cache at nt-store bandwidth
@@ -98,24 +210,29 @@ class MemoryModel:
         if medium is Medium.DRAM or not ntstore:
             bandwidth = self.costs.dram_write_bw
         else:
-            bandwidth = self.costs.pmem_ntstore_bw / self.interference
+            bandwidth = (self.costs.pmem_ntstore_bw * bw_factor
+                         / self.interference_for(node))
         return self.costs.copy_cycles(nbytes, bandwidth)
 
-    def random_read(self, nbytes: int, granule: int,
-                    medium: Medium) -> float:
+    def random_read(self, nbytes: int, granule: int, medium: Medium,
+                    node: int = 0, lat_factor: float = 1.0,
+                    bw_factor: float = 1.0) -> float:
         """Read ``nbytes`` in random ``granule``-sized chunks."""
         chunks = max(1, nbytes // granule)
-        per_chunk = (self.load_latency(medium)
-                     + self.stream_read(granule, medium) * 0.55)
+        per_chunk = (self.load_latency(medium, factor=lat_factor)
+                     + self.stream_read(granule, medium, node=node,
+                                        bw_factor=bw_factor) * 0.55)
         return chunks * per_chunk
 
     # -- copies ---------------------------------------------------------------
     def memcpy(self, nbytes: int, src: Medium, dst: Medium,
-               kernel: bool = False, ntstore: bool = True) -> float:
+               kernel: bool = False, ntstore: bool = True,
+               bw_factor: float = 1.0) -> float:
         """Copy ``nbytes``; bandwidth is the min of source and sink.
 
         ``kernel=True`` applies the no-AVX discount of syscall-path
-        copies (§III-C, Vectorization).
+        copies (§III-C, Vectorization).  ``bw_factor`` discounts the
+        whole pipe when either end sits across the UPI link.
         """
         read_bw = (self.costs.pmem_read_bw if src is Medium.PMEM
                    else self.costs.dram_read_bw)
@@ -125,19 +242,21 @@ class MemoryModel:
             write_bw = self.costs.dram_write_bw
         else:
             write_bw = self.costs.pmem_ntstore_bw
-        bandwidth = min(read_bw, write_bw)
+        bandwidth = min(read_bw, write_bw) * bw_factor
         if kernel:
             bandwidth *= self.costs.kernel_copy_ratio
         return self.costs.copy_cycles(nbytes, bandwidth)
 
     # -- persistence ------------------------------------------------------
-    def clwb_flush(self, nbytes: int) -> float:
+    def clwb_flush(self, nbytes: int, bw_factor: float = 1.0) -> float:
         """Flush ``nbytes`` of dirty cache lines to PMem (clwb+sfence)."""
-        return self.costs.copy_cycles(nbytes, self.costs.pmem_clwb_bw)
+        return self.costs.copy_cycles(
+            nbytes, self.costs.pmem_clwb_bw * bw_factor)
 
-    def zero(self, nbytes: int) -> float:
+    def zero(self, nbytes: int, bw_factor: float = 1.0) -> float:
         """Zero ``nbytes`` of PMem with nt-stores."""
-        return self.costs.copy_cycles(nbytes, self.costs.pmem_zero_bw)
+        return self.costs.copy_cycles(
+            nbytes, self.costs.pmem_zero_bw * bw_factor)
 
 
 class BandwidthThrottle:

@@ -1,19 +1,32 @@
-"""Physical memory: the DRAM and PMem media and frame accounting.
+"""Physical memory: per-NUMA-node DRAM and PMem media, frame accounting.
 
 The simulator does not store file *contents* — only placement.  What
 matters for every result in the paper is **where** bytes and page-table
-pages live (DRAM vs PMem), since the medium drives load latency, page
-walk costs (Table II) and bandwidth.  ``PhysicalMemory`` hands out 4 KB
-frame numbers from each medium and tracks usage so experiments can
-report footprint numbers (e.g. DaxVM's file-table storage tax, §V-B).
+pages live — which medium (DRAM vs PMem) *and*, since the topology
+refactor, which socket — because medium and socket together drive load
+latency, page walk costs (Table II) and bandwidth.  ``PhysicalMemory``
+hands out 4 KB frame numbers from each node's media and tracks usage so
+experiments can report footprint numbers (e.g. DaxVM's file-table
+storage tax, §V-B).
+
+Frame-number recovery property: frames are laid out as all nodes' DRAM
+regions followed by all nodes' PMem regions, so **both** the medium and
+the owning node of a frame can be recovered from the frame number
+alone (``medium_of`` / ``node_of``) — exactly what the page-walk cost
+model and the NUMA access accounting need.  A 1-node topology
+degenerates to the historical "one DRAM then one PMem region" layout
+with identical frame numbers.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import MemoryError_
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.topology import MachineTopology
 
 
 class Medium(enum.Enum):
@@ -23,38 +36,76 @@ class Medium(enum.Enum):
     PMEM = "pmem"
 
 
+class AllocPolicy(enum.Enum):
+    """NUMA placement policy for frame allocations."""
+
+    #: Allocate on the target node or fail.
+    LOCAL = "local"
+    #: Prefer the target node, spill to the others in node order.
+    PREFERRED = "preferred"
+    #: Round-robin across all nodes.
+    INTERLEAVE = "interleave"
+
+
 class Region:
     """A frame allocator over one contiguous physical medium."""
 
     FRAME_SIZE = 4096
 
-    def __init__(self, medium: Medium, size_bytes: int, base_frame: int = 0):
+    def __init__(self, medium: Medium, size_bytes: int, base_frame: int = 0,
+                 node: int = 0):
         self.medium = medium
         self.size_bytes = size_bytes
         self.total_frames = size_bytes // Region.FRAME_SIZE
         self.base_frame = base_frame
+        self.node = node
         self._next_frame = 0
         self._free: List[int] = []
+        self._free_set: set = set()
         self.allocated_frames = 0
         self.peak_frames = 0
+
+    @property
+    def end_frame(self) -> int:
+        return self.base_frame + self.total_frames
+
+    def contains(self, frame: int) -> bool:
+        return self.base_frame <= frame < self.end_frame
 
     def alloc_frame(self) -> int:
         """Allocate one 4 KB frame; returns its global frame number."""
         if self._free:
             frame = self._free.pop()
+            self._free_set.discard(frame)
         elif self._next_frame < self.total_frames:
             frame = self.base_frame + self._next_frame
             self._next_frame += 1
         else:
             raise MemoryError_(
-                f"{self.medium.value}: out of frames "
+                f"{self.medium.value}/node{self.node}: out of frames "
                 f"({self.total_frames} total)")
         self.allocated_frames += 1
         self.peak_frames = max(self.peak_frames, self.allocated_frames)
         return frame
 
     def free_frame(self, frame: int) -> None:
+        """Return a frame to the freelist.
+
+        Freeing a frame this region never handed out, or one that is
+        already free, would silently corrupt ``allocated_frames`` and
+        let the allocator serve the same frame twice — so both raise.
+        """
+        index = frame - self.base_frame
+        if not 0 <= index < self._next_frame:
+            raise MemoryError_(
+                f"{self.medium.value}/node{self.node}: freeing frame "
+                f"{frame} that was never allocated")
+        if frame in self._free_set:
+            raise MemoryError_(
+                f"{self.medium.value}/node{self.node}: double free of "
+                f"frame {frame}")
         self._free.append(frame)
+        self._free_set.add(frame)
         self.allocated_frames -= 1
 
     @property
@@ -67,31 +118,117 @@ class Region:
 
 
 class PhysicalMemory:
-    """The machine's physical memory: one DRAM and one PMem region.
+    """The machine's physical memory: per-node DRAM and PMem regions.
 
-    Frame numbers are globally unique across media (PMem frames start
-    above the DRAM range), so a page-table entry's target medium can be
-    recovered from the frame number alone — exactly the property the
-    page-walk cost model needs.
+    Frame numbers are globally unique across media and nodes (every
+    node's DRAM range sits below every node's PMem range), so a
+    page-table entry's target medium *and* socket can be recovered
+    from the frame number alone — exactly the property the page-walk
+    cost model and the NUMA accounting rely on.
+
+    Constructed either the historical way (``dram_bytes, pmem_bytes``
+    — one node) or from a :class:`~repro.topology.MachineTopology`.
+    ``.dram`` / ``.pmem`` remain node 0's regions so single-socket
+    call sites are untouched.
     """
 
-    def __init__(self, dram_bytes: int, pmem_bytes: int):
-        self.dram = Region(Medium.DRAM, dram_bytes, base_frame=0)
-        pmem_base = self.dram.total_frames
-        self.pmem = Region(Medium.PMEM, pmem_bytes, base_frame=pmem_base)
-        self._regions: Dict[Medium, Region] = {
-            Medium.DRAM: self.dram,
-            Medium.PMEM: self.pmem,
-        }
+    def __init__(self, dram_bytes: Optional[int] = None,
+                 pmem_bytes: Optional[int] = None,
+                 topology: Optional["MachineTopology"] = None):
+        if topology is not None:
+            specs = [(node.dram_bytes, node.pmem_bytes)
+                     for node in topology.nodes]
+        else:
+            if dram_bytes is None or pmem_bytes is None:
+                raise MemoryError_(
+                    "PhysicalMemory needs dram_bytes+pmem_bytes or a "
+                    "topology")
+            specs = [(dram_bytes, pmem_bytes)]
+        self.topology = topology
+        self.dram_regions: List[Region] = []
+        self.pmem_regions: List[Region] = []
+        base = 0
+        for node, (dram, _pmem) in enumerate(specs):
+            region = Region(Medium.DRAM, dram, base_frame=base, node=node)
+            self.dram_regions.append(region)
+            base += region.total_frames
+        self._pmem_floor = base
+        for node, (_dram, pmem) in enumerate(specs):
+            region = Region(Medium.PMEM, pmem, base_frame=base, node=node)
+            self.pmem_regions.append(region)
+            base += region.total_frames
+        self.dram = self.dram_regions[0]
+        self.pmem = self.pmem_regions[0]
+        self._by_medium = {Medium.DRAM: self.dram_regions,
+                           Medium.PMEM: self.pmem_regions}
+        self._interleave_next = {Medium.DRAM: 0, Medium.PMEM: 0}
 
-    def region(self, medium: Medium) -> Region:
-        return self._regions[medium]
+    @property
+    def num_nodes(self) -> int:
+        return len(self.dram_regions)
 
-    def alloc_frame(self, medium: Medium) -> int:
-        return self._regions[medium].alloc_frame()
+    def region(self, medium: Medium, node: int = 0) -> Region:
+        return self._by_medium[medium][node]
+
+    def pmem_bases(self) -> List[int]:
+        return [region.base_frame for region in self.pmem_regions]
+
+    def pmem_frames(self) -> List[int]:
+        return [region.total_frames for region in self.pmem_regions]
+
+    # -- allocation ---------------------------------------------------------
+    def alloc_frame(self, medium: Medium, node: Optional[int] = None,
+                    policy: AllocPolicy = AllocPolicy.LOCAL) -> int:
+        """Allocate a frame of ``medium`` under a placement policy.
+
+        With no ``node`` (the historical call shape) allocation comes
+        from node 0 — identical to the pre-topology allocator.
+        """
+        regions = self._by_medium[medium]
+        if policy is AllocPolicy.INTERLEAVE and len(regions) > 1:
+            order = list(range(len(regions)))
+            start = self._interleave_next[medium]
+            self._interleave_next[medium] = (start + 1) % len(regions)
+            order = order[start:] + order[:start]
+        elif policy is AllocPolicy.PREFERRED:
+            target = node or 0
+            order = [target] + [n for n in range(len(regions))
+                                if n != target]
+        else:
+            order = [node or 0]
+        last_error: Optional[MemoryError_] = None
+        for candidate in order:
+            try:
+                return regions[candidate].alloc_frame()
+            except MemoryError_ as exc:
+                last_error = exc
+        raise last_error  # type: ignore[misc]
 
     def free_frame(self, frame: int) -> None:
-        self._regions[self.medium_of(frame)].free_frame(frame)
+        self.region_of(frame).free_frame(frame)
 
+    # -- frame-number recovery ---------------------------------------------
     def medium_of(self, frame: int) -> Medium:
-        return Medium.DRAM if frame < self.pmem.base_frame else Medium.PMEM
+        return Medium.DRAM if frame < self._pmem_floor else Medium.PMEM
+
+    def region_of(self, frame: int) -> Region:
+        """The region owning a frame (raises on out-of-range frames)."""
+        regions = self._by_medium[self.medium_of(frame)]
+        for region in regions:
+            if region.contains(frame):
+                return region
+        raise MemoryError_(f"frame {frame} lies in no physical region")
+
+    def node_of(self, frame: int) -> int:
+        """The NUMA node owning a frame.
+
+        Frames past the last PMem region (e.g. standalone test devices
+        with synthetic base frames) are attributed to the last node
+        rather than raising — they are always "somewhere on PMem" for
+        placement purposes.
+        """
+        regions = self._by_medium[self.medium_of(frame)]
+        for region in regions:
+            if region.contains(frame):
+                return region.node
+        return regions[-1].node

@@ -78,6 +78,14 @@ class Counter(enum.Enum):
     DAXVM_FORCED_SYNC_UNMAPS = "daxvm.forced_sync_unmaps"
     DAXVM_RECOVERY_PTES = "daxvm.recovery_ptes"
 
+    # -- NUMA (topology-aware runs only; never bumped on one node) --------
+    NUMA_LOCAL_ACCESSES = "numa.local_accesses"
+    NUMA_REMOTE_ACCESSES = "numa.remote_accesses"
+    NUMA_LOCAL_BYTES = "numa.local_bytes"
+    NUMA_REMOTE_BYTES = "numa.remote_bytes"
+    NUMA_CROSS_IPIS = "numa.cross_socket_ipis"
+    NUMA_CROSS_IPI_CYCLES = "numa.cross_socket_ipi_cycles"
+
     # -- Baselines ---------------------------------------------------------
     LATR_LAZY_INVALIDATIONS = "latr.lazy_invalidations"
 

@@ -45,6 +45,9 @@ class CostDomain(enum.Enum):
     LOCK_WAIT = "lock_wait"
     COPY = "copy"
     USERSPACE = "userspace"
+    #: Extra cycles paid for crossing the UPI link (remote-socket data
+    #: access and leaf walks); zero by construction on one node.
+    NUMA = "numa"
 
     def __str__(self) -> str:  # pragma: no cover - display aid
         return self.value
@@ -59,6 +62,7 @@ DOMAIN_ORDER = [
     CostDomain.FAULT,
     CostDomain.WALK,
     CostDomain.TLB_SHOOTDOWN,
+    CostDomain.NUMA,
     CostDomain.JOURNAL,
     CostDomain.FILETABLE,
     CostDomain.LOCK_WAIT,

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import AddressSpaceError, SegmentationFault
-from repro.mem.physmem import Medium, PhysicalMemory
+from repro.mem.physmem import AllocPolicy, Medium, PhysicalMemory
 from repro.paging.flags import PageFlags
 
 #: Radix-tree levels, leaf to root.
@@ -121,16 +121,24 @@ class PageTable:
     """
 
     def __init__(self, physmem: PhysicalMemory, medium: Medium = Medium.DRAM,
-                 root_level: Level = PGD_LEVEL, shared: bool = False):
+                 root_level: Level = PGD_LEVEL, shared: bool = False,
+                 node: Optional[int] = None,
+                 policy: AllocPolicy = AllocPolicy.PREFERRED):
         self.physmem = physmem
         self.medium = medium
         self.shared = shared
+        #: NUMA placement of table frames: a process's tables live on
+        #: its home node, a persistent file table on the file's node.
+        #: ``None`` keeps the legacy node-0 allocation.
+        self.node = node
+        self.policy = policy
         self.root = self._new_node(root_level)
         self.nodes_allocated = 1
 
     # -- node lifecycle -----------------------------------------------------
     def _new_node(self, level: Level) -> PageTableNode:
-        frame = self.physmem.alloc_frame(self.medium)
+        frame = self.physmem.alloc_frame(self.medium, node=self.node,
+                                         policy=self.policy)
         return PageTableNode(level, frame, self.medium, shared=self.shared)
 
     def _free_node(self, node: PageTableNode) -> None:

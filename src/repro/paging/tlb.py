@@ -71,10 +71,13 @@ class ShootdownController:
     """IPI-based TLB invalidation across the cores running a process."""
 
     def __init__(self, engine: Engine, costs: CostModel,
-                 stats: Stats):
+                 stats: Stats, topology=None):
         self.engine = engine
         self.costs = costs
         self.stats = stats
+        #: Optional repro.topology.MachineTopology (duck-typed): when
+        #: present with >1 node, cross-socket IPIs cost extra cycles.
+        self.topology = topology
 
     def wants_full_flush(self, npages: int) -> bool:
         """Linux's x86 policy: full flush beyond the per-page ceiling."""
@@ -117,6 +120,19 @@ class ShootdownController:
             self.engine.interrupt_cores(
                 remote, self.costs.ipi_responder + handler_cost)
             self.stats.add(Counter.TLB_IPIS, len(remote))
+            # Cross-socket IPIs traverse the UPI link: the initiator
+            # waits longer for those acks.  Priced (and counted) only
+            # on >1-node topologies so single-socket runs are
+            # bit-identical to the pre-topology model.
+            if self.topology is not None and self.topology.num_nodes > 1:
+                my_node = self.topology.node_of_core(initiator_core)
+                cross = sum(1 for c in remote
+                            if self.topology.node_of_core(c) != my_node)
+                if cross:
+                    extra = self.topology.ipi_cross_socket_extra * cross
+                    initiator_cost += extra
+                    self.stats.add(Counter.NUMA_CROSS_IPIS, cross)
+                    self.stats.add(Counter.NUMA_CROSS_IPI_CYCLES, extra)
         self.stats.add(Counter.TLB_SHOOTDOWNS)
         yield charge(CostDomain.TLB_SHOOTDOWN, "initiate-flush",
                      initiator_cost)

@@ -25,8 +25,15 @@ class PageWalker:
         self.costs = costs
 
     def walk_cost(self, pattern: AccessPattern, leaf_medium: Medium,
-                  leaf_level: int = PTE_LEVEL) -> float:
-        """Average cycles per TLB miss."""
+                  leaf_level: int = PTE_LEVEL,
+                  leaf_factor: float = 1.0) -> float:
+        """Average cycles per TLB miss.
+
+        ``leaf_factor`` is the NUMA latency multiplier on the leaf
+        read: persistent file tables live on the *file's* socket, so a
+        remote mapping pays the remote-PMem penalty on every leaf walk
+        (exactly 1.0 — bit-identical — on uniform machines).
+        """
         if leaf_level >= PMD_LEVEL:
             # Huge leaf: one fewer level and the PMD entry lives in the
             # process's private DRAM tables with high locality.
@@ -39,7 +46,7 @@ class PageWalker:
             miss = self.costs.walk_leaf_miss_rand
         leaf = (self.costs.walk_leaf_pmem if leaf_medium is Medium.PMEM
                 else self.costs.walk_leaf_dram)
-        return upper + miss * leaf
+        return upper + miss * leaf * leaf_factor
 
     def walk_cost_for(self, translation: Translation,
                       pattern: AccessPattern) -> float:

@@ -46,13 +46,25 @@ class SweepPoint:
     device_gib: int = 4
     #: Aged (fragmented) file-system image?
     aged: bool = True
+    #: NUMA sockets (1 = the historical uniform machine).
+    num_nodes: int = 1
+    #: File/device placement relative to ``pin_node`` — one of
+    #: :data:`repro.topology.PLACEMENTS`; a no-op on one node.
+    placement: str = "local"
+    #: Socket the placement is defined against.
+    pin_node: int = 0
 
     @property
     def label(self) -> str:
         return f"{self.series}@{self.x:g}"
 
     def to_payload(self) -> Dict[str, object]:
-        """Plain-dict form for worker processes and hashing."""
+        """Plain-dict form for worker processes and hashing.
+
+        Topology fields are part of the payload, so cache keys cover
+        the machine's NUMA shape: the same workload on 1 vs 2 sockets
+        (or local vs remote placement) hashes to different results.
+        """
         return {
             "experiment": self.experiment,
             "series": self.series,
@@ -61,6 +73,9 @@ class SweepPoint:
             "media": self.media,
             "device_gib": self.device_gib,
             "aged": self.aged,
+            "num_nodes": self.num_nodes,
+            "placement": self.placement,
+            "pin_node": self.pin_node,
         }
 
     @classmethod

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional
 from repro.analysis.results import RunResult
 from repro.runner.manifest import Sweep, SweepPoint
 from repro.system import System
+from repro.topology import PLACEMENTS
 from repro.workloads import (
     ApacheConfig,
     DaxVMOptions,
@@ -60,11 +61,13 @@ def _daxvm_params(opts: DaxVMOptions) -> dict:
 @point_runner("ephemeral")
 def _ephemeral_point(system: System, *, file_size: int, num_files: int,
                      num_threads: int, interface: str,
-                     daxvm: Optional[dict] = None) -> RunResult:
+                     daxvm: Optional[dict] = None,
+                     pin_node: Optional[int] = None) -> RunResult:
     cfg = EphemeralConfig(file_size=file_size, num_files=num_files,
                           num_threads=num_threads,
                           interface=Interface(interface),
-                          daxvm=_daxvm_options(daxvm))
+                          daxvm=_daxvm_options(daxvm),
+                          pin_node=pin_node)
     return run_ephemeral(system, cfg)
 
 
@@ -153,6 +156,28 @@ def _ablations_sweep(*, ops: int, size: int, media: str,
                  title=f"Fig. 8a incremental bars, {workers} cores "
                        f"(Kreq/s)",
                  points=points, axis="cores")
+
+
+@sweep("numa", "file placement vs thread count on two sockets")
+def _numa_sweep(*, ops: int, size: int, media: str, device_gib: int,
+                aged: bool) -> Sweep:
+    """Read-once mmap with workload threads pinned to socket 0 and the
+    file placed local to them, on the remote socket, or interleaved
+    across both — the dual-socket Optane placement experiment."""
+    points = []
+    for threads in (1, 2, 4, 8, 16):
+        for placement in PLACEMENTS:
+            points.append(SweepPoint(
+                experiment="ephemeral", series=placement, x=threads,
+                params={"file_size": size, "num_files": ops,
+                        "num_threads": threads,
+                        "interface": Interface.MMAP.value,
+                        "pin_node": 0},
+                media=media, device_gib=device_gib, aged=aged,
+                num_nodes=2, placement=placement, pin_node=0))
+    return Sweep(name="numa",
+                 title="NUMA file placement, mmap read-once (Kops/s)",
+                 points=points, axis="threads")
 
 
 def build_sweep(name: str, *, ops: int, size: int, media: str,

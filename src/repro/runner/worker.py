@@ -18,6 +18,7 @@ from typing import Dict
 from repro.config import MEDIA_PRESETS
 from repro.runner.manifest import SweepPoint, result_state
 from repro.system import System
+from repro.topology import MachineTopology
 
 
 def _reset_naming_counters() -> None:
@@ -49,8 +50,11 @@ def run_point(payload: Dict[str, object]) -> Dict[str, object]:
                        f"known: {sorted(POINT_RUNNERS)}")
     _reset_naming_counters()
     costs = MEDIA_PRESETS[point.media]()
+    topology = (MachineTopology.split(costs.machine, point.num_nodes)
+                if point.num_nodes > 1 else None)
     system = System(costs=costs, device_bytes=point.device_gib << 30,
-                    aged=point.aged)
+                    aged=point.aged, topology=topology,
+                    placement=point.placement, pin_node=point.pin_node)
     started = time.perf_counter()
     run = runner(system, **point.params)
     wall = time.perf_counter() - started

@@ -95,12 +95,14 @@ class Spawn:
 
 
 class Core:
-    """A CPU core: tracks the stolen-cycle debt charged by interrupts."""
+    """A CPU core: tracks its NUMA node and the stolen-cycle debt
+    charged by interrupts."""
 
-    __slots__ = ("index", "stolen_cycles", "total_interrupts")
+    __slots__ = ("index", "node", "stolen_cycles", "total_interrupts")
 
-    def __init__(self, index: int):
+    def __init__(self, index: int, node: int = 0):
         self.index = index
+        self.node = node
         self.stolen_cycles = 0.0
         self.total_interrupts = 0
 
@@ -163,9 +165,13 @@ class SimThread:
 class Engine:
     """Deterministic discrete-event executor for simulated threads."""
 
-    def __init__(self, num_cores: int = 16):
+    def __init__(self, num_cores: int = 16, topology=None):
         self.now = 0.0
-        self.cores = [Core(i) for i in range(num_cores)]
+        # ``topology`` (a repro.topology.MachineTopology, duck-typed to
+        # avoid an import cycle) pins each core to its socket; without
+        # one, every core sits on node 0 as before.
+        self.cores = [Core(i, topology.node_of_core(i) if topology
+                           else 0) for i in range(num_cores)]
         self._heap: list = []
         self._seq = itertools.count()
         self.threads: list[SimThread] = []

@@ -44,6 +44,7 @@ from repro.mem.physmem import PhysicalMemory
 from repro.obs import Ledger, Tracer
 from repro.sim.engine import Engine, KernelGen, SimThread
 from repro.sim.stats import Stats
+from repro.topology import MachineTopology, device_placement
 from repro.vm.mm import MMStruct
 
 _FS_TYPES = {"ext4": Ext4Dax, "nova": Nova, "xfs": XfsDax}
@@ -60,30 +61,43 @@ class Process:
 
 
 class System:
-    """One simulated single-socket machine."""
+    """One simulated machine (single-socket by default; pass a
+    :class:`~repro.topology.MachineTopology` for NUMA configurations)."""
 
     def __init__(self, costs: CostModel = DEFAULT_COSTS,
                  num_cores: Optional[int] = None,
                  device_bytes: int = 8 << 30,
                  fs_type: str = "ext4",
                  aged: bool = False,
-                 aging_profile: AgingProfile = AgingProfile()):
+                 aging_profile: AgingProfile = AgingProfile(),
+                 topology: Optional[MachineTopology] = None,
+                 placement: str = "local",
+                 pin_node: int = 0):
         self.costs = costs
-        cores = num_cores or costs.machine.num_cores
-        self.engine = Engine(cores)
+        if topology is None:
+            topology = MachineTopology.single_node(costs.machine)
+        self.topology = topology
+        #: File/device placement relative to ``pin_node`` (see
+        #: repro.topology.device_placement); a no-op on one node.
+        self.placement = placement
+        self.pin_node = pin_node
+        cores = num_cores or topology.num_cores
+        self.engine = Engine(cores, topology=topology)
         self.stats = Stats()
-        self.physmem = PhysicalMemory(costs.machine.dram_bytes,
-                                      costs.machine.pmem_bytes)
+        self.physmem = PhysicalMemory(topology=topology)
         self.mem = MemoryModel(costs)
-        self.mem.shared = SharedBandwidth(costs.pmem_total_read_bw,
-                                          costs.pmem_total_write_bw,
-                                          costs.machine.freq_hz)
+        self.mem.set_topology(topology, self.physmem.node_of)
+        self.mem.set_pools(self._make_pools())
+        base_frame, frame_map = device_placement(
+            topology, self.physmem.pmem_bases(),
+            self.physmem.pmem_frames(), placement, pin_node)
         if aged:
             self.device = aged_device(device_bytes, aging_profile,
-                                      base_frame=self.physmem.pmem.base_frame)
+                                      base_frame=base_frame,
+                                      frame_map=frame_map)
         else:
-            self.device = BlockDevice(device_bytes,
-                                      base_frame=self.physmem.pmem.base_frame)
+            self.device = BlockDevice(device_bytes, base_frame=base_frame,
+                                      frame_map=frame_map)
         self.vfs = VFS()
         fs_cls = _FS_TYPES.get(fs_type)
         if fs_cls is None:
@@ -94,6 +108,17 @@ class System:
         self.trace = self._make_tracer()
         self._filetables: Optional[FileTableManager] = None
         self._process_count = 0
+
+    def _make_pools(self) -> "list[SharedBandwidth]":
+        """One aggregate PMem bandwidth pool per socket.  The machine
+        total is shared equally — splitting the DIMMs across sockets
+        splits their aggregate bandwidth — so one node reproduces the
+        historical single pool exactly."""
+        n = self.topology.num_nodes
+        return [SharedBandwidth(self.costs.pmem_total_read_bw / n,
+                                self.costs.pmem_total_write_bw / n,
+                                self.costs.machine.freq_hz)
+                for _ in range(n)]
 
     def _make_tracer(self, ring: int = 256) -> Tracer:
         """Span tracer bound to the current engine's clock/scheduler."""
@@ -111,19 +136,26 @@ class System:
         return self.engine.ledger
 
     # -- processes -----------------------------------------------------------
-    def new_process(self, name: str = "", aslr_seed: int = 0) -> Process:
+    def new_process(self, name: str = "", aslr_seed: int = 0,
+                    home_node: int = 0) -> Process:
+        """Create a process; its private page tables (and fallback
+        accessor node) live on ``home_node``."""
         self._process_count += 1
         pname = name or f"proc{self._process_count}"
         mm = MMStruct(self.engine, self.costs, self.physmem, self.mem,
-                      self.stats, aslr_seed=aslr_seed, name=pname)
+                      self.stats, aslr_seed=aslr_seed, name=pname,
+                      topology=self.topology, home_node=home_node)
         return Process(self, mm, pname)
 
     @property
     def filetables(self) -> FileTableManager:
-        """The FS-wide file-table manager (created on first use)."""
+        """The FS-wide file-table manager (created on first use).
+        Volatile tables are placed on the device's home socket so
+        walks from co-located threads stay local."""
         if self._filetables is None:
             self._filetables = FileTableManager(
-                self.fs, self.physmem, self.costs, self.stats)
+                self.fs, self.physmem, self.costs, self.stats,
+                table_node=self.physmem.node_of(self.device.base_frame))
         return self._filetables
 
     def daxvm_for(self, process: Process, enable_prezero: bool = True,
@@ -173,15 +205,14 @@ class System:
             simulate_crash(self.vfs, seed=seed)
         else:
             self.vfs.inode_cache.evict_all()
-        self.engine = Engine(len(self.engine.cores))
+        self.engine = Engine(len(self.engine.cores),
+                             topology=self.topology)
         self.fs.engine = self.engine
         # The tracer's clock closes over ``self.engine``, so it follows
         # the new engine automatically; open spans died with the boot.
         self.trace.reset()
-        self.mem.shared = SharedBandwidth(self.costs.pmem_total_read_bw,
-                                          self.costs.pmem_total_write_bw,
-                                          self.costs.machine.freq_hz)
-        self.mem.interference = 1.0
+        self.mem.set_pools(self._make_pools())
+        self.mem.reset_interference()
         self.fs.free_interceptor = None
         self.fs.free_barriers.clear()
         if self._filetables is not None:

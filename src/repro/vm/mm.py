@@ -65,21 +65,28 @@ class MMStruct:
 
     def __init__(self, engine: Engine, costs: CostModel,
                  physmem: PhysicalMemory, mem: MemoryModel, stats: Stats,
-                 aslr_seed: int = 0, name: str = "mm"):
+                 aslr_seed: int = 0, name: str = "mm",
+                 topology=None, home_node: int = 0):
         self.engine = engine
         self.costs = costs
         self.physmem = physmem
         self.mem = mem
         self.stats = stats
         self.name = name
-        self.page_table = PageTable(physmem, Medium.DRAM)
+        #: repro.topology.MachineTopology (duck-typed; None = uniform)
+        #: and the process's home socket: private page tables allocate
+        #: there, and it is the fallback accessor node.
+        self.topology = topology
+        self.home_node = home_node
+        self.page_table = PageTable(physmem, Medium.DRAM, node=home_node)
         self.mmap_sem = RWSemaphore(engine, costs, f"{name}.mmap_sem")
         self.vmas = RBTree()
         self.layout = AddressSpaceLayout(aslr_seed)
         self.page_cache = DirtyTracker()
         self.walker = PageWalker(costs)
         self.tlb = TLBModel(costs, costs.machine)
-        self.shootdowns = ShootdownController(engine, costs, stats)
+        self.shootdowns = ShootdownController(engine, costs, stats,
+                                              topology=topology)
         #: Cores currently running this process's threads (cpumask).
         self.active_cores: Set[int] = set()
 
@@ -92,6 +99,22 @@ class MMStruct:
     def _initiator_core(self) -> int:
         current = self.engine.current
         return current.core.index if current is not None else 0
+
+    def _numa_info(self, vma: VMA, first_page: int):
+        """(latency factor, bandwidth factor, target node, is-remote)
+        for the running thread touching a mapping — or ``None`` on
+        uniform machines, keeping the single-socket path untouched."""
+        if self.topology is None or self.topology.num_nodes == 1:
+            return None
+        frame = None
+        if vma.fs is not None and vma.inode is not None:
+            try:
+                frame = vma.fs.frame_for_page(
+                    vma.inode, vma.file_page(first_page))
+            except Exception:
+                frame = None  # hole/ephemeral: fall back to uniform
+        return self.mem.numa_factors(
+            self._initiator_core(), frame, Medium.PMEM)
 
     # ------------------------------------------------------------------
     # VMA lookup.
@@ -333,40 +356,68 @@ class MMStruct:
         # -- data movement ---------------------------------------------------
         nbytes = touch_bytes if touch_bytes is not None else length
         num_ops = ops or 1
-        if write and copy:
-            data = self.mem.memcpy(nbytes, Medium.DRAM, Medium.PMEM,
-                                   ntstore=ntstore) * num_ops
-        elif write:
-            data = self.mem.stream_write(nbytes, Medium.PMEM,
-                                         ntstore=ntstore) * num_ops
-        elif copy:
-            data = self.mem.memcpy(nbytes, Medium.PMEM, Medium.DRAM)
+        numa = self._numa_info(vma, first_page)
+        lat_f, bw_f, target_node, numa_remote = numa or (1.0, 1.0, 0, False)
+
+        def movement(lat_factor: float, bw_factor: float) -> float:
+            """Pure data-movement cycles under given NUMA factors (the
+            uniform call reproduces the pre-topology costs bit for
+            bit — every factor is exactly 1.0)."""
+            if write and copy:
+                return self.mem.memcpy(
+                    nbytes, Medium.DRAM, Medium.PMEM, ntstore=ntstore,
+                    bw_factor=bw_factor) * num_ops
+            if write:
+                return self.mem.stream_write(
+                    nbytes, Medium.PMEM, ntstore=ntstore,
+                    node=target_node, bw_factor=bw_factor) * num_ops
+            if copy:
+                cycles = self.mem.memcpy(nbytes, Medium.PMEM, Medium.DRAM,
+                                         bw_factor=bw_factor)
+                if pattern is AccessPattern.RANDOM:
+                    cycles += self.mem.load_latency(Medium.PMEM,
+                                                    factor=lat_factor)
+                return cycles * num_ops
             if pattern is AccessPattern.RANDOM:
-                data += self.mem.load_latency(Medium.PMEM)
-            data *= num_ops
-        elif pattern is AccessPattern.RANDOM:
-            data = (self.mem.load_latency(Medium.PMEM)
-                    + self.mem.stream_read(nbytes, Medium.PMEM,
-                                           cached=data_cached)) * num_ops
-        else:
-            data = self.mem.stream_read(nbytes, Medium.PMEM,
-                                        cached=data_cached) * num_ops
+                return (self.mem.load_latency(Medium.PMEM, factor=lat_factor)
+                        + self.mem.stream_read(
+                            nbytes, Medium.PMEM, cached=data_cached,
+                            node=target_node,
+                            bw_factor=bw_factor)) * num_ops
+            return self.mem.stream_read(
+                nbytes, Medium.PMEM, cached=data_cached, node=target_node,
+                bw_factor=bw_factor) * num_ops
+
+        data = movement(lat_f, bw_f)
+        # The cycles added by crossing the UPI link are ledgered
+        # separately so perf breakdowns can show the remote tax.
+        numa_extra = data - movement(1.0, 1.0) if numa_remote else 0.0
 
         # -- device bandwidth contention ------------------------------------
         total_bytes = nbytes * num_ops
         if not data_cached:
             wait = self.mem.device_delay(
                 0 if write else total_bytes,
-                total_bytes if write else 0, self.engine.now)
+                total_bytes if write else 0, self.engine.now,
+                node=target_node)
             data = max(data, wait)
 
         # -- TLB misses --------------------------------------------------------
         tlb_cost = self._tlb_cost(vma, first_page, npages, pattern,
-                                  num_ops, nbytes)
+                                  num_ops, nbytes, leaf_factor=lat_f)
         yield charge(CostDomain.COPY if copy else CostDomain.USERSPACE,
-                     "data-access", data)
+                     "data-access", data - numa_extra)
+        if numa_extra:
+            yield charge(CostDomain.NUMA, "remote-access", numa_extra)
         yield charge(CostDomain.WALK, "tlb-walk", tlb_cost)
         self.stats.add(Counter.VM_ACCESS_BYTES, nbytes * num_ops)
+        if numa is not None:
+            if numa_remote:
+                self.stats.add(Counter.NUMA_REMOTE_ACCESSES, num_ops)
+                self.stats.add(Counter.NUMA_REMOTE_BYTES, total_bytes)
+            else:
+                self.stats.add(Counter.NUMA_LOCAL_ACCESSES, num_ops)
+                self.stats.add(Counter.NUMA_LOCAL_BYTES, total_bytes)
 
     def _write_track(self, vma: VMA, first_page: int, last_page: int):
         """Take write-protect faults for untracked granules in range."""
@@ -411,9 +462,18 @@ class MMStruct:
 
     def _tlb_cost(self, vma: VMA, first_page: int, npages: int,
                   pattern: AccessPattern, num_ops: int,
-                  op_bytes: int) -> float:
-        """TLB miss cycles for an access window."""
+                  op_bytes: int, leaf_factor: float = 1.0) -> float:
+        """TLB miss cycles for an access window.
+
+        ``leaf_factor`` is the NUMA latency multiplier on PMem-resident
+        leaf reads: a persistent file table lives on the file's socket,
+        so remote mappings pay the cross-socket penalty on every walk.
+        DRAM-resident (process-private) tables sit on the home node and
+        stay at factor 1.
+        """
         leaf_medium = getattr(vma, "leaf_medium", Medium.DRAM)
+        if leaf_medium is not Medium.PMEM:
+            leaf_factor = 1.0
         # Split the window into huge-covered and 4 KB-covered pages.
         huge_pages = sum(
             1 for p in range(first_page, first_page + npages)
@@ -433,7 +493,8 @@ class MMStruct:
             misses_huge = (self.tlb.random_op_misses(
                 int(num_ops * huge_fraction) or 0, op_bytes, PMD_SIZE, hfoot)
                 if huge_fraction else 0)
-        walk_small = self.walker.walk_cost(pattern, leaf_medium)
+        walk_small = self.walker.walk_cost(pattern, leaf_medium,
+                                           leaf_factor=leaf_factor)
         cost = misses_small * walk_small + misses_huge * self.costs.walk_huge
         self.stats.add(Counter.VM_TLB_MISSES, misses_small + misses_huge)
         self.stats.add(Counter.VM_WALK_CYCLES, cost)

@@ -37,6 +37,9 @@ class EphemeralConfig:
     #: Drop the inode cache before measuring (files are opened once,
     #: so cold opens are the realistic condition).
     cold_caches: bool = True
+    #: Pin worker threads to one NUMA socket's cores (``None`` keeps
+    #: the historical core-per-thread layout; ignored on one node).
+    pin_node: "int | None" = None
 
 
 def _read_one(system: System, path: str, size: int):
@@ -103,14 +106,18 @@ def run_ephemeral(system: System, cfg: EphemeralConfig) -> RunResult:
 
     paths = [inode.path for inode in inodes]
     shard_sizes = spread(len(paths), cfg.num_threads)
+    pinned = (system.topology.cores_of_node(cfg.pin_node)
+              if cfg.pin_node is not None
+              and system.topology.num_nodes > 1 else None)
     measure = Measurement(system)
     measure.start()
     offset = 0
     for t in range(cfg.num_threads):
         shard = paths[offset:offset + shard_sizes[t]]
         offset += shard_sizes[t]
+        core = pinned[t % len(pinned)] if pinned else t
         system.spawn(_worker(system, process, cfg, shard),
-                     core=t, name=f"eph-w{t}", process=process)
+                     core=core, name=f"eph-w{t}", process=process)
     system.run()
     label = (cfg.interface.value if cfg.interface is not Interface.DAXVM
              else f"daxvm[{_opts_label(cfg.daxvm)}]")

@@ -1,0 +1,32 @@
+"""The 1-node equivalence gate of the topology refactor.
+
+DESIGN.md §8 promises that a default (1-node) machine reproduces the
+pre-topology simulator bit for bit.  The golden file was captured on
+the commit *before* the refactor; this test replays the same two fixed
+configurations and compares the complete observable state — cycles,
+counters, ledger attribution, histograms — byte for byte.
+
+If this fails, the refactor leaked a NUMA factor into the uniform
+path.  Recapture (``python -m repro.analysis.goldens``) only when a PR
+intentionally changes simulated numbers, and say so in the PR.
+"""
+
+import json
+
+from repro.analysis.goldens import GOLDEN_PATH, golden_json
+
+
+def test_default_machine_reproduces_pre_topology_numbers_bitwise():
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; capture it on a known-good commit with "
+        "`python -m repro.analysis.goldens`")
+    current = golden_json()
+    golden = GOLDEN_PATH.read_text()
+    if current != golden:  # pragma: no cover - failure diagnostics
+        cur, ref = json.loads(current), json.loads(golden)
+        for name in ref:
+            for field in ("cycles", "counters", "domains"):
+                assert cur[name][field] == ref[name][field], (
+                    f"{name}.{field} drifted from the pre-topology "
+                    f"golden run")
+    assert current == golden

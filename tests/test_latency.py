@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config import DEFAULT_COSTS
+from repro.errors import InvalidArgumentError
 from repro.mem.latency import BandwidthThrottle, MemoryModel, SharedBandwidth
 from repro.mem.physmem import Medium
 
@@ -91,6 +92,33 @@ def test_throttle_rejects_nonpositive_bandwidth():
         BandwidthThrottle(0, 2.7e9)
 
 
+def test_throttle_back_to_back_bursts_queue_linearly():
+    """Each burst pays for itself plus whatever backlog is unpaid."""
+    throttle = BandwidthThrottle(1e9, 1e9)  # 1 B/cycle
+    assert throttle.delay_for(100, now=0.0) == pytest.approx(100)
+    assert throttle.delay_for(100, now=0.0) == pytest.approx(200)
+    assert throttle.delay_for(100, now=0.0) == pytest.approx(300)
+
+
+def test_throttle_budget_accrues_while_waiting():
+    """Time the caller actually waits pays the backlog down, so a
+    later transfer owes only the remainder plus its own cost."""
+    throttle = BandwidthThrottle(1e9, 1e9)  # 1 B/cycle
+    assert throttle.delay_for(1000, now=0.0) == pytest.approx(1000)
+    # 600 cycles later, 400 cycles of backlog remain ahead of the
+    # next 100-byte transfer.
+    assert throttle.delay_for(100, now=600.0) == pytest.approx(500)
+
+
+def test_throttle_fully_waited_backlog_leaves_only_transfer_time():
+    throttle = BandwidthThrottle(2e9, 1e9)  # 2 B/cycle
+    first = throttle.delay_for(1000, now=0.0)
+    assert first == pytest.approx(500)
+    # The consumer slept through its delay: the next transfer starts
+    # with a clean bucket and owes exactly its own transfer time.
+    assert throttle.delay_for(1000, now=first) == pytest.approx(500)
+
+
 def test_shared_bandwidth_is_invisible_at_low_load():
     shared = SharedBandwidth(19.8e9, 7.5e9, 2.7e9)
     # One 4 KB read takes ~0.56 us of device time; a second request a
@@ -108,3 +136,40 @@ def test_shared_bandwidth_queues_at_saturation():
 
 def test_device_delay_absent_without_wiring(mem):
     assert mem.device_delay(1 << 20, 0, now=0.0) == 0.0
+
+
+def test_interference_enter_exit_composes(mem):
+    """Concurrent background streams stack; the worst one wins, and
+    exiting one stream leaves the others' penalties intact."""
+    assert mem.interference_for(0) == 1.0
+    mem.enter_interference(1.07)
+    mem.enter_interference(1.5)
+    assert mem.interference_for(0) == 1.5
+    mem.exit_interference(1.5)
+    assert mem.interference_for(0) == 1.07
+    mem.exit_interference(1.07)
+    assert mem.interference_for(0) == 1.0
+
+
+def test_interference_unmatched_exit_raises(mem):
+    with pytest.raises(InvalidArgumentError):
+        mem.exit_interference(1.07)
+
+
+def test_interference_is_per_node(mem):
+    mem.enter_interference(1.3, node=1)
+    assert mem.interference_for(0) == 1.0
+    assert mem.interference_for(1) == 1.3
+    # Unknown nodes read as quiet rather than raising.
+    assert mem.interference_for(7) == 1.0
+    mem.exit_interference(1.3, node=1)
+
+
+def test_interference_slows_pmem_streams(mem):
+    quiet = mem.stream_read(1 << 20, Medium.PMEM)
+    mem.enter_interference(1.07)
+    slowed = mem.stream_read(1 << 20, Medium.PMEM)
+    mem.exit_interference(1.07)
+    # The fixed per-copy startup cost is not media-bound, so compare
+    # the bandwidth-proportional part.
+    assert slowed == pytest.approx(quiet * 1.07, rel=1e-4)

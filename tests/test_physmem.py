@@ -32,6 +32,27 @@ def test_peak_tracking():
     assert region.peak_bytes == 3 * 4096
 
 
+def test_double_free_raises():
+    region = Region(Medium.DRAM, 8 * 4096)
+    frame = region.alloc_frame()
+    region.free_frame(frame)
+    before = region.allocated_frames
+    with pytest.raises(MemoryError_):
+        region.free_frame(frame)
+    # The failed free must not corrupt the accounting or the freelist.
+    assert region.allocated_frames == before
+    assert region.alloc_frame() == frame
+
+
+def test_freeing_a_never_allocated_frame_raises():
+    region = Region(Medium.PMEM, 8 * 4096, base_frame=100)
+    region.alloc_frame()
+    with pytest.raises(MemoryError_):
+        region.free_frame(105)  # in range, but never handed out
+    with pytest.raises(MemoryError_):
+        region.free_frame(99)  # below the region entirely
+
+
 def test_media_are_distinguishable_by_frame_number():
     pm = PhysicalMemory(dram_bytes=1 << 20, pmem_bytes=1 << 20)
     dram_frame = pm.alloc_frame(Medium.DRAM)

@@ -3,6 +3,7 @@ async-unmap interaction corners."""
 
 import pytest
 
+from repro.core.prezero import PreZeroDaemon
 from repro.errors import AddressSpaceError
 from repro.sim.engine import Compute
 from repro.vm.vma import MapFlags, Protection
@@ -52,6 +53,33 @@ def test_prezero_interference_resets_when_idle(system):
     run(system, flow())
     assert dax.prezero.pending_blocks == 0
     assert system.mem.interference == 1.0
+
+
+def test_prezero_idle_tick_does_not_clobber_other_streams(system):
+    """Regression: the daemon's idle path used to write the scalar
+    ``mem.interference = 1.0``, erasing penalties owned by *other*
+    background streams.  Idle must release only the daemon's claim."""
+    daemon = PreZeroDaemon(system.engine, system.fs, system.costs,
+                           system.mem, system.stats)
+    system.mem.enter_interference(1.5)  # someone else's stream
+    gen = daemon._run()
+    next(gen)  # one idle tick
+    assert system.mem.interference_for(0) == 1.5
+    system.mem.exit_interference(1.5)
+    assert system.mem.interference_for(0) == 1.0
+
+
+def test_prezero_interference_brackets_zeroing(system):
+    daemon = PreZeroDaemon(system.engine, system.fs, system.costs,
+                           system.mem, system.stats)
+    runs = system.fs.device.alloc(4)
+    daemon.intercept(runs)
+    gen = daemon._run()
+    next(gen)  # zeroing in flight: the media penalty is active
+    assert system.mem.interference_for(0) == \
+        PreZeroDaemon.MEDIA_INTERFERENCE
+    next(gen)  # queue drained -> claim released before idling
+    assert system.mem.interference_for(0) == 1.0
 
 
 def test_prezero_all_free_marks_whole_free_list(system):
