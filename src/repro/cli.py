@@ -205,6 +205,44 @@ def _media(args):
     print(format_table(table))
 
 
+@experiment("crash", "crash-point injection + recovery audit")
+def _crash(args):
+    from repro.crash import run_crash
+
+    costs = MEDIA_PRESETS[args.media]()
+    topology = (MachineTopology.split(costs.machine, args.nodes)
+                if args.nodes > 1 else None)
+
+    def factory() -> System:
+        # Fresh images: aging churn adds nothing to durability coverage
+        # and each crash point rebuilds the machine from scratch.
+        return System(costs=costs, device_bytes=args.device << 30,
+                      aged=False, fs_type=args.fs, topology=topology,
+                      placement=args.policy, pin_node=args.pin_node)
+
+    summary = run_crash(factory, args.workload, seed=args.seed,
+                        max_points=args.max_points)
+    if args.json:
+        print(json.dumps(summary.to_state(), indent=2, sort_keys=True))
+    else:
+        state = summary.to_state()
+        table = Table(
+            f"Crash sweep: {summary.workload}, seed {summary.seed}",
+            ["metric", "value"])
+        for key in ("total_transitions", "points_explored",
+                    "invariant_violations", "lost_records",
+                    "replayed_records", "rolled_back_txns",
+                    "orphan_blocks", "tables_repaired", "ptes_replayed"):
+            table.add_row(key, state[key])
+        print(format_table(table))
+        for line in summary.violations:
+            print(f"VIOLATION: {line}")
+    if summary.invariant_violations:
+        raise SystemExit(
+            f"crash: {summary.invariant_violations} invariant "
+            f"violation(s) across {summary.points_explored} points")
+
+
 @perf_target("fig7", "per-domain cycle breakdown of ext4-DAX appends")
 def _perf_fig7(args):
     """Where do mmap-append cycles go?  The ledger answers directly:
@@ -388,6 +426,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "--pin-node (multi-socket only)")
     parser.add_argument("--pin-node", type=int, default=0,
                         help="socket the placement is defined against")
+    parser.add_argument("--workload", choices=("syncbench", "kvstore"),
+                        default="syncbench",
+                        help="crash workload (with 'crash')")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="crash-point sampling / survival seed")
+    parser.add_argument("--max-points", type=int, default=64,
+                        help="crash points to explore (with 'crash')")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep execution")
     parser.add_argument("--no-cache", action="store_true",

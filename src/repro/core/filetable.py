@@ -49,8 +49,9 @@ PTES_PER_CACHE_LINE = 8
 class _DeviceFrameAllocator:
     """Adapter: allocate page-table frames from PMem metadata blocks."""
 
-    def __init__(self, device: BlockDevice):
+    def __init__(self, device: BlockDevice, fs: Optional[FileSystem] = None):
         self.device = device
+        self.fs = fs
         self.blocks_allocated = 0
 
     def alloc_frame(self, medium: Medium) -> int:
@@ -58,11 +59,16 @@ class _DeviceFrameAllocator:
             raise SimulationError("device allocator only serves PMem")
         runs = self.device.alloc(1)
         self.blocks_allocated += 1
+        if self.fs is not None and self.fs.persistence is not None:
+            self.fs.persistence.note_block_alloc(runs)
         return self.device.frame_of(runs[0][0])
 
     def free_frame(self, frame: int) -> None:
-        self.device.free(self.device.block_of(frame), 1)
+        block = self.device.block_of(frame)
+        self.device.free(block, 1)
         self.blocks_allocated -= 1
+        if self.fs is not None and self.fs.persistence is not None:
+            self.fs.persistence.note_block_free(block, 1)
 
 
 class _DramFrameAllocator:
@@ -122,6 +128,17 @@ class FileTable:
         total_pages = inode.extents.block_count
         if total_pages <= self.filled_pages:
             return 0.0
+        domain = getattr(fs, "persistence", None)
+        if domain is not None and self.medium is Medium.PMEM:
+            # Persistent-table fills are clwb'd as they are written
+            # (§IV-A1) but only fence-ordered with the journal commit;
+            # a rolled-back transaction truncates the table back, and
+            # mount-time recovery re-extends it from the extent tree.
+            old_filled = self.filled_pages
+            domain.meta_store(
+                "filetable-extend", inode.number,
+                8 * (total_pages - old_filled), flushed=True,
+                undo=lambda: self.truncate(old_filled))
         cycles = 0.0
         new_ptes = 0
         nodes_before = self.node_count
@@ -261,7 +278,7 @@ class FileTableManager:
         #: data's socket; persistent tables inherit the device's own
         #: placement through its metadata blocks.
         self._dram_alloc = _DramFrameAllocator(physmem, node=table_node)
-        self._pmem_alloc = _DeviceFrameAllocator(fs.device)
+        self._pmem_alloc = _DeviceFrameAllocator(fs.device, fs)
         fs.alloc_hooks.append(self._on_alloc)
         fs.free_hooks.append(self._on_free)
         fs.vfs.inode_cache.load_hooks.append(self._on_inode_load)

@@ -98,10 +98,15 @@ class RecoveryLog:
         report.repaired_paths.append(inode.path)
 
     def recover_all(self) -> RecoveryReport:
-        """The mount-time scan over every inode."""
+        """The mount-time scan over every inode.
+
+        Iterates in inode-number order — the order a real mount scan
+        walks the inode table — so recovery reports are stable across
+        runs regardless of path names, and usable in golden files.
+        """
         report = RecoveryReport()
-        for path in self.vfs.paths():
-            self.recover_inode(self.vfs.lookup(path), report)
+        for inode in self.vfs.inodes():
+            self.recover_inode(inode, report)
         return report
 
 

@@ -1,0 +1,40 @@
+"""repro.crash — persistence-domain model, crash injection, recovery audit.
+
+The subsystem that checks the paper's *durability* claims the way the
+rest of the simulator checks its *performance* claims:
+
+* :class:`PersistenceDomain` (``domain``) — shadows every simulated
+  store through volatile → flushed → fence-ordered (ADR) states;
+* :class:`CrashInjector` (``injector``) — deterministically crashes a
+  machine replica at every persistence-state transition;
+* :class:`RecoveryChecker` (``checker``) — replays the journal,
+  re-syncs persistent file tables, reclaims orphans and asserts the
+  no-acked-data-lost invariants;
+* ``workloads`` — small durability-heavy drivers registered in
+  :data:`CRASH_WORKLOADS`.
+
+Entry points: ``python -m repro crash ...`` and ``sweep crash``.
+"""
+
+from repro.crash.checker import CrashPointOutcome, RecoveryChecker
+from repro.crash.domain import (COMMIT_RECORD_BYTES, CrashState,
+                                CrashTriggered, PersistenceDomain,
+                                PersistRecord, StoreState)
+from repro.crash.injector import CrashInjector, CrashSummary, run_crash
+from repro.crash.workloads import CRASH_WORKLOADS, crash_workload
+
+__all__ = [
+    "COMMIT_RECORD_BYTES",
+    "CRASH_WORKLOADS",
+    "CrashInjector",
+    "CrashPointOutcome",
+    "CrashState",
+    "CrashSummary",
+    "CrashTriggered",
+    "PersistRecord",
+    "PersistenceDomain",
+    "RecoveryChecker",
+    "StoreState",
+    "crash_workload",
+    "run_crash",
+]

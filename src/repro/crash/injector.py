@@ -1,0 +1,200 @@
+"""Deterministic crash-point enumeration and injection.
+
+The injector turns "does this persistence discipline actually work?"
+into an exhaustive sweep: every persistence-state transition the
+workload performs (store, flush, fence, commit) is a candidate crash
+point.  For each selected point it rebuilds an identical machine from
+a factory, arms a fresh :class:`PersistenceDomain` with ``crash_at=k``
+and runs the workload until the domain raises
+:class:`CrashTriggered` out of the event loop — the simulated power
+failure.  It then applies the crash (seeded per-point RNG decides
+whether unfenced flushes drained), reboots the machine and hands it to
+the :class:`RecoveryChecker`.
+
+Replica determinism is load-bearing: the factory plus the naming-
+counter reset guarantee crash point *k* always interrupts the same
+transition of the same operation, so summaries are reproducible and
+golden-file-able.  ``break_commit_fence=True`` installs the test-only
+ordering-bug fixture (``Journal.skip_commit_fence``) that the checker
+is required to catch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Union
+
+from repro.analysis.results import RunResult
+from repro.crash.checker import CrashPointOutcome, RecoveryChecker
+from repro.crash.domain import CrashTriggered, PersistenceDomain
+from repro.crash.workloads import CRASH_WORKLOADS
+from repro.errors import InvalidArgumentError
+from repro.obs import Counter
+from repro.runner.worker import _reset_naming_counters
+from repro.system import System
+
+
+@dataclass
+class CrashSummary:
+    """Aggregate of one crash sweep (one workload, one seed)."""
+
+    workload: str
+    seed: int
+    max_points: int
+    total_transitions: int
+    outcomes: List[CrashPointOutcome] = field(default_factory=list)
+    freq_hz: float = 2.7e9
+
+    @property
+    def points_explored(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def violations(self) -> List[str]:
+        found = []
+        for outcome in self.outcomes:
+            found.extend(f"point {outcome.point}: {v}"
+                         for v in outcome.violations)
+        return found
+
+    @property
+    def invariant_violations(self) -> int:
+        return sum(len(o.violations) for o in self.outcomes)
+
+    @property
+    def recovery_cycles(self) -> float:
+        return sum(o.recovery_cycles for o in self.outcomes)
+
+    def to_state(self) -> Dict[str, object]:
+        """Integer-exact summary for golden files and sweep caching."""
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "total_transitions": self.total_transitions,
+            "points_explored": self.points_explored,
+            "invariant_violations": self.invariant_violations,
+            "lost_records": sum(o.lost_records for o in self.outcomes),
+            "replayed_records": sum(o.replayed_records
+                                    for o in self.outcomes),
+            "rolled_back_txns": sum(o.rolled_back_txns
+                                    for o in self.outcomes),
+            "orphan_blocks": sum(o.orphan_blocks for o in self.outcomes),
+            "tables_repaired": sum(o.tables_repaired
+                                   for o in self.outcomes),
+            "ptes_replayed": sum(o.ptes_replayed for o in self.outcomes),
+        }
+
+    def to_result(self) -> RunResult:
+        """Shape the sweep like any other workload run: operations are
+        explored crash points, cycles are mount-time recovery work."""
+        state = self.to_state()
+        counters = {f"crash.{key}": float(value)
+                    for key, value in state.items()
+                    if isinstance(value, (int, float))}
+        return RunResult(
+            label=f"crash:{self.workload}/seed{self.seed}",
+            cycles=self.recovery_cycles,
+            operations=float(self.points_explored),
+            counters=counters,
+            domains={"crash": self.recovery_cycles},
+            freq_hz=self.freq_hz,
+        )
+
+
+class CrashInjector:
+    """Enumerates, injects and verifies crash points for one workload."""
+
+    def __init__(self, factory: Callable[[], System],
+                 workload: Union[str, Callable[[System], None]],
+                 *, seed: int = 0, max_points: int = 64,
+                 break_commit_fence: bool = False):
+        self.factory = factory
+        if callable(workload):
+            self.workload = workload
+            self.workload_name = getattr(workload, "__name__", "custom")
+        else:
+            fn = CRASH_WORKLOADS.get(workload)
+            if fn is None:
+                raise InvalidArgumentError(
+                    f"unknown crash workload {workload!r}; known: "
+                    f"{sorted(CRASH_WORKLOADS)}")
+            self.workload = fn
+            self.workload_name = workload
+        self.seed = seed
+        self.max_points = max_points
+        self.break_commit_fence = break_commit_fence
+        self._freq = 2.7e9
+
+    # -- machine construction ----------------------------------------------
+    def _build(self, domain: PersistenceDomain) -> System:
+        _reset_naming_counters()
+        system = self.factory()
+        system.attach_persistence(domain)
+        if self.break_commit_fence:
+            journal = getattr(system.fs, "journal", None)
+            if journal is not None:
+                journal.skip_commit_fence = True
+        self._freq = system.costs.machine.freq_hz
+        return system
+
+    # -- exploration -------------------------------------------------------
+    def probe(self) -> int:
+        """Run once unarmed; returns the number of crash candidates."""
+        domain = PersistenceDomain()
+        system = self._build(domain)
+        self.workload(system)
+        return domain.transitions
+
+    def run_point(self, point: int) -> CrashPointOutcome:
+        """Crash one machine replica at transition ``point``, recover
+        it and audit the result."""
+        domain = PersistenceDomain(crash_at=point)
+        system = self._build(domain)
+        try:
+            self.workload(system)
+        except CrashTriggered:
+            pass
+        # Per-point RNG: decides (deterministically, independently per
+        # point) which unfenced flushes drained before power was lost.
+        rng = random.Random((self.seed << 24) ^ (point * 0x9E3779B1))
+        state = domain.apply_crash(rng)
+        # Power-fail reboot: volatile caches, processes and engines die.
+        system.vfs.inode_cache.evict_all()
+        system._reboot()
+        outcome = RecoveryChecker(system, domain, state).run(point=point)
+        system.stats.add(Counter.CRASH_POINTS_EXPLORED, 1)
+        system.stats.add(Counter.CRASH_STORES_TRACKED, len(domain.records))
+        return outcome
+
+    def select_points(self, total: int) -> List[int]:
+        """All points when they fit the budget, else a seeded sample."""
+        if total <= self.max_points:
+            return list(range(total))
+        return sorted(random.Random(self.seed).sample(range(total),
+                                                      self.max_points))
+
+    def run(self) -> CrashSummary:
+        total = self.probe()
+        summary = CrashSummary(workload=self.workload_name,
+                               seed=self.seed,
+                               max_points=self.max_points,
+                               total_transitions=total,
+                               freq_hz=self._freq)
+        for point in self.select_points(total):
+            summary.outcomes.append(self.run_point(point))
+        return summary
+
+
+def run_crash(factory: Callable[[], System],
+              workload: Union[str, Callable[[System], None]],
+              *, seed: int = 0, max_points: int = 64,
+              break_commit_fence: bool = False) -> CrashSummary:
+    """One-call crash sweep: enumerate, inject, recover, audit."""
+    injector = CrashInjector(factory, workload, seed=seed,
+                             max_points=max_points,
+                             break_commit_fence=break_commit_fence)
+    return injector.run()
+
+
+__all__ = ["CrashInjector", "CrashSummary", "run_crash"]

@@ -71,6 +71,11 @@ class FileSystem:
         self.engine = None
         #: Huge-page (PMD) mappings allowed?  Fig. 6 turns them off.
         self.allow_huge = True
+        #: Optional :class:`repro.crash.PersistenceDomain`; when attached
+        #: every metadata mutation and data store is shadowed with its
+        #: durability state (volatile/flushed/fenced) for crash-point
+        #: exploration.  ``None`` in ordinary performance runs.
+        self.persistence = None
 
     def _device_wait(self, read_bytes: float, write_bytes: float) -> float:
         """Extra cycles from aggregate PMem bandwidth contention."""
@@ -87,6 +92,7 @@ class FileSystem:
         yield charge(CostDomain.SYSCALL, "open",
                      self.costs.syscall_crossing)
         if create and path not in self.vfs:
+            self._persist_create(path)
             inode = self.vfs.create(path)
             yield from self._metadata_update()
         else:
@@ -157,8 +163,12 @@ class FileSystem:
         copy = max(copy, self._device_wait(0, nbytes))
         yield charge(CostDomain.SYSCALL, "extent-lookup", lookup)
         yield charge(CostDomain.COPY, "write-copy", copy)
-        yield from self._metadata_update()
+        if self.persistence is not None:
+            self.persistence.data_store(file.inode.number, nbytes, nt=True)
+        if new_end > file.inode.size:
+            self._persist_size(file.inode, new_end)
         file.inode.size = max(file.inode.size, new_end)
+        yield from self._metadata_update()
         self.stats.add(Counter.FS_WRITE_BYTES, nbytes)
         return nbytes
 
@@ -172,6 +182,8 @@ class FileSystem:
             yield from self._allocate(file.inode, needed,
                                       zero=self.zeroes_on_fallocate)
             yield from self._metadata_update()
+        if new_size > file.inode.size:
+            self._persist_size(file.inode, new_size)
         file.inode.size = max(file.inode.size, new_size)
 
     def fsync(self, file: DaxFile):
@@ -180,7 +192,11 @@ class FileSystem:
         file._check_open()
         yield charge(CostDomain.SYSCALL, "fsync",
                      self.costs.syscall_crossing)
+        upto = (self.persistence.cursor()
+                if self.persistence is not None else None)
         yield from self._commit_sync()
+        if upto is not None:
+            self.persistence.sync_data(file.inode.number, upto)
         self.stats.add(Counter.FS_FSYNC_CALLS)
 
     def truncate(self, file: DaxFile, new_size: int):
@@ -194,6 +210,7 @@ class FileSystem:
                      self.costs.syscall_crossing)
         inode = self.vfs.lookup(path)
         yield from self._truncate_inode(inode, 0)
+        self._persist_unlink(path, inode)
         self.vfs.remove(path)
         yield from self._metadata_update()
 
@@ -241,6 +258,7 @@ class FileSystem:
             align = BLOCKS_PER_PMD if chunk == BLOCKS_PER_PMD else 1
             runs.extend(self.device.alloc(chunk, align=align))
             remaining -= chunk
+        self._persist_extent_append(inode, runs)
         for start, length in runs:
             inode.extents.append(start, length)
         yield charge(CostDomain.SYSCALL, "block-alloc",
@@ -272,6 +290,7 @@ class FileSystem:
         for barrier in self.free_barriers:
             yield from barrier(inode)
         new_blocks = -(-new_size // BLOCK_SIZE)
+        deferred = self._persist_truncate(inode, new_blocks, new_size)
         freed = inode.extents.truncate_to(new_blocks)
         inode.size = min(inode.size, new_size)
         if not freed:
@@ -286,12 +305,97 @@ class FileSystem:
             self.stats.add(Counter.FS_FILETABLE_MAINTENANCE_CYCLES,
                            hook_cycles)
             yield charge(CostDomain.FILETABLE, "free-hooks", hook_cycles)
-        if self.free_interceptor is not None and self.free_interceptor(freed):
+        if deferred is not None:
+            # Freed blocks must stay allocated until the truncate record
+            # is durable (jbd2 defers frees to transaction commit, else
+            # a crash could hand live data to another file).
+            deferred.extend(freed)
+        elif self.free_interceptor is not None and self.free_interceptor(freed):
             self.stats.add(Counter.FS_FREES_INTERCEPTED, len(freed))
         else:
             for start, length in freed:
                 self.device.free(start, length)
         yield from self._metadata_update()
+
+    # ------------------------------------------------------------------
+    # Persistence-domain shadowing (crash-point exploration).
+    #
+    # Each helper is a no-op without an attached domain.  Records are
+    # created *before* the in-memory mutation they shadow, so a crash at
+    # the record's own transition observes the pre-mutation state.  The
+    # ``undo`` closures implement logical rollback of uncommitted
+    # transactions; ``on_durable`` defers block frees to commit.
+    # ------------------------------------------------------------------
+    def _persist_create(self, path: str) -> None:
+        if self.persistence is None:
+            return
+        vfs = self.vfs
+        self.persistence.meta_store(
+            "create", None, 256, undo=lambda: vfs.forget(path))
+
+    def _persist_unlink(self, path: str, inode: Inode) -> None:
+        if self.persistence is None:
+            return
+        vfs = self.vfs
+        self.persistence.meta_store(
+            "unlink", inode.number, 256,
+            undo=lambda: vfs.restore(path, inode))
+
+    def _persist_size(self, inode: Inode, new_size: int) -> None:
+        if self.persistence is None:
+            return
+        old = inode.size
+
+        def undo():
+            inode.size = old
+        self.persistence.meta_store("inode-size", inode.number, 16,
+                                    undo=undo)
+
+    def _persist_extent_append(self, inode: Inode,
+                               runs: List[Tuple[int, int]]) -> None:
+        if self.persistence is None or not runs:
+            return
+        domain = self.persistence
+        domain.note_block_alloc(runs)
+        device = self.device
+        before = inode.extents.block_count
+
+        def undo():
+            # Rolled-back allocation: the bitmap update was in the same
+            # transaction, so the blocks come back as free space.
+            for start, length in inode.extents.truncate_to(before):
+                device.free(start, length)
+                domain.note_block_free(start, length)
+        total = sum(length for _start, length in runs)
+        domain.meta_store("extent-append", inode.number, 8 * total,
+                          undo=undo)
+
+    def _persist_truncate(self, inode: Inode, new_blocks: int,
+                          new_size: int) -> Optional[List[Tuple[int, int]]]:
+        if self.persistence is None:
+            return None
+        if inode.extents.block_count <= new_blocks and inode.size <= new_size:
+            return None
+        domain = self.persistence
+        device = self.device
+        old_size = inode.size
+        deferred: List[Tuple[int, int]] = []
+
+        def undo():
+            # truncate_to pops extents tail-first; re-append reversed to
+            # restore the original logical order.
+            for start, length in reversed(deferred):
+                inode.extents.append(start, length)
+            deferred.clear()
+            inode.size = old_size
+
+        def on_durable():
+            for start, length in deferred:
+                device.free(start, length)
+                domain.note_block_free(start, length)
+        domain.meta_store("truncate", inode.number, 64, undo=undo,
+                          on_durable=on_durable)
+        return deferred
 
     def _extents_touched(self, inode: Inode, offset: int,
                          nbytes: int) -> int:

@@ -210,6 +210,22 @@ class BlockDevice:
         self._free.insert(idx, FreeExtent(start, length))
         self._starts.insert(idx, start)
 
+    def free_overlap(self, start: int, length: int) -> int:
+        """How many blocks of ``[start, start+length)`` are free.
+
+        Zero for any run a live extent references — the crash recovery
+        checker uses this to assert block bitmaps stay consistent with
+        the extent trees.
+        """
+        end = start + length
+        idx = max(bisect.bisect_right(self._starts, start) - 1, 0)
+        overlap = 0
+        while idx < len(self._free) and self._free[idx].start < end:
+            extent = self._free[idx]
+            overlap += max(0, min(extent.end, end) - max(extent.start, start))
+            idx += 1
+        return overlap
+
     # -- fragmentation metrics ----------------------------------------------
     def free_extent_count(self) -> int:
         return len(self._free)

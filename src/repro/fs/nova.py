@@ -43,6 +43,10 @@ class Nova(FileSystem):
         self.stats.add(Counter.NOVA_LOG_APPENDS)
         yield charge(CostDomain.JOURNAL, "nova-log-append",
                      self.costs.nova_log_append)
+        if self.persistence is not None:
+            # A NOVA log append is nt-stored and fenced in place: each
+            # metadata update is its own committed transaction.
+            self.persistence.commit_metadata(acked=True)
 
     def _commit_sync(self):
         # In-place synchronous metadata: nothing deferred to flush.

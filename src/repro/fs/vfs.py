@@ -32,9 +32,11 @@ class Inode:
 
     _next_number = 1
 
-    def __init__(self, path: str):
-        self.number = Inode._next_number
-        Inode._next_number += 1
+    def __init__(self, path: str, number: Optional[int] = None):
+        if number is None:
+            number = Inode._next_number
+            Inode._next_number += 1
+        self.number = number
         self.path = path
         self.size = 0
         self.extents = ExtentTree()
@@ -129,12 +131,17 @@ class VFS:
     def __init__(self, inode_cache: Optional[InodeCache] = None):
         self.inode_cache = inode_cache or InodeCache()
         self._namespace: Dict[str, Inode] = {}
+        # Inode numbers are per-mount, like a real file system's, so
+        # two simulated machines built from the same workload assign
+        # identical numbers — crash-point replicas depend on this.
+        self._next_ino = 1
 
     # -- namespace -----------------------------------------------------------
     def create(self, path: str) -> Inode:
         if path in self._namespace:
             raise FileExistsError_(path)
-        inode = Inode(path)
+        inode = Inode(path, number=self._next_ino)
+        self._next_ino += 1
         self._namespace[path] = inode
         return inode
 
@@ -151,8 +158,23 @@ class VFS:
         self.inode_cache.evict(inode)
         return inode
 
+    def forget(self, path: str) -> Optional[Inode]:
+        """Drop a namespace entry without raising (crash rollback)."""
+        inode = self._namespace.pop(path, None)
+        if inode is not None:
+            self.inode_cache.evict(inode)
+        return inode
+
+    def restore(self, path: str, inode: Inode) -> None:
+        """Re-link an inode under its path (crash rollback of unlink)."""
+        self._namespace.setdefault(path, inode)
+
     def paths(self) -> List[str]:
         return sorted(self._namespace)
+
+    def inodes(self) -> List[Inode]:
+        """Every live inode in deterministic inode-number order."""
+        return sorted(self._namespace.values(), key=lambda ino: ino.number)
 
     def __contains__(self, path: str) -> bool:
         return path in self._namespace

@@ -37,7 +37,7 @@ class XfsDax(FileSystem):
     def __init__(self, device: BlockDevice, vfs: VFS, costs: CostModel,
                  mem: MemoryModel, stats: Stats):
         super().__init__(device, vfs, costs, mem, stats)
-        self.journal = Journal(costs, stats)
+        self.journal = Journal(costs, stats, fs=self)
 
     def _metadata_update(self):
         yield from self.journal.metadata_update()

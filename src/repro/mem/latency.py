@@ -69,6 +69,12 @@ class MemoryModel:
         #: then behaves exactly like the uniform pre-topology model).
         self.topology: Optional["MachineTopology"] = None
         self.node_of_frame: Optional[Callable[[int], int]] = None
+        #: Optional :class:`repro.crash.PersistenceDomain`: durability
+        #: state rides the same calls that price the data movement.
+        #: Purely passive byte accounting — the cost results are
+        #: untouched, so performance runs are bit-identical with or
+        #: without a domain attached.
+        self.persistence = None
 
     # -- NUMA wiring --------------------------------------------------------
     def set_topology(self, topology: "MachineTopology",
@@ -207,6 +213,8 @@ class MemoryModel:
         sits dirty in the cache — durability costs are paid later by
         whoever flushes (msync/fsync via :meth:`clwb_flush`).
         """
+        if self.persistence is not None and medium is Medium.PMEM:
+            self.persistence.note_stream(nbytes, ntstore)
         if medium is Medium.DRAM or not ntstore:
             bandwidth = self.costs.dram_write_bw
         else:
@@ -234,6 +242,8 @@ class MemoryModel:
         copies (§III-C, Vectorization).  ``bw_factor`` discounts the
         whole pipe when either end sits across the UPI link.
         """
+        if self.persistence is not None and dst is Medium.PMEM:
+            self.persistence.note_stream(nbytes, ntstore)
         read_bw = (self.costs.pmem_read_bw if src is Medium.PMEM
                    else self.costs.dram_read_bw)
         if dst is Medium.DRAM or not ntstore:
@@ -250,6 +260,8 @@ class MemoryModel:
     # -- persistence ------------------------------------------------------
     def clwb_flush(self, nbytes: int, bw_factor: float = 1.0) -> float:
         """Flush ``nbytes`` of dirty cache lines to PMem (clwb+sfence)."""
+        if self.persistence is not None:
+            self.persistence.note_flush(nbytes)
         return self.costs.copy_cycles(
             nbytes, self.costs.pmem_clwb_bw * bw_factor)
 

@@ -162,6 +162,11 @@ class PhysicalMemory:
         self._by_medium = {Medium.DRAM: self.dram_regions,
                            Medium.PMEM: self.pmem_regions}
         self._interleave_next = {Medium.DRAM: 0, Medium.PMEM: 0}
+        #: Optional :class:`repro.crash.PersistenceDomain`: PMem frame
+        #: lifecycle is reported so crash exploration can account for
+        #: persistent-capacity churn.  Passive — allocation behaviour
+        #: is unchanged.
+        self.persistence = None
 
     @property
     def num_nodes(self) -> int:
@@ -199,13 +204,20 @@ class PhysicalMemory:
         last_error: Optional[MemoryError_] = None
         for candidate in order:
             try:
-                return regions[candidate].alloc_frame()
+                frame = regions[candidate].alloc_frame()
             except MemoryError_ as exc:
                 last_error = exc
+                continue
+            if self.persistence is not None and medium is Medium.PMEM:
+                self.persistence.note_pmem_frame(+1)
+            return frame
         raise last_error  # type: ignore[misc]
 
     def free_frame(self, frame: int) -> None:
-        self.region_of(frame).free_frame(frame)
+        region = self.region_of(frame)
+        region.free_frame(frame)
+        if self.persistence is not None and region.medium is Medium.PMEM:
+            self.persistence.note_pmem_frame(-1)
 
     # -- frame-number recovery ---------------------------------------------
     def medium_of(self, frame: int) -> Medium:

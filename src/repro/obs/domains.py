@@ -48,6 +48,10 @@ class CostDomain(enum.Enum):
     #: Extra cycles paid for crossing the UPI link (remote-socket data
     #: access and leaf walks); zero by construction on one node.
     NUMA = "numa"
+    #: Post-crash mount work: journal replay, log scanning, persistent
+    #: file-table validation/rebuild and orphan-block reclamation.
+    #: Charged only by the repro.crash recovery checker.
+    CRASH = "crash"
 
     def __str__(self) -> str:  # pragma: no cover - display aid
         return self.value
@@ -66,4 +70,5 @@ DOMAIN_ORDER = [
     CostDomain.JOURNAL,
     CostDomain.FILETABLE,
     CostDomain.LOCK_WAIT,
+    CostDomain.CRASH,
 ]

@@ -82,6 +82,28 @@ def _apache_point(system: System, *, num_workers: int, requests: int,
     return run_apache(system, cfg)
 
 
+@point_runner("crash")
+def _crash_point(system: System, *, workload: str, seed: int,
+                 max_points: int, media: str = "optane",
+                 device_gib: int = 1) -> RunResult:
+    """Crash sweeps rebuild a machine per crash point, so the pool's
+    pre-built ``system`` is unused; the factory mirrors its media and
+    device size.  Fresh images only — aging churn per replica is pure
+    overhead for durability coverage."""
+    from repro.config import MEDIA_PRESETS
+    from repro.crash import run_crash
+
+    costs_factory = MEDIA_PRESETS[media]
+
+    def factory() -> System:
+        return System(costs=costs_factory(),
+                      device_bytes=device_gib << 30, aged=False)
+
+    summary = run_crash(factory, workload, seed=seed,
+                        max_points=max_points)
+    return summary.to_result()
+
+
 # ---------------------------------------------------------------------------
 # Sweep builders (figure -> list of points).
 # ---------------------------------------------------------------------------
@@ -156,6 +178,28 @@ def _ablations_sweep(*, ops: int, size: int, media: str,
                  title=f"Fig. 8a incremental bars, {workers} cores "
                        f"(Kreq/s)",
                  points=points, axis="cores")
+
+
+@sweep("crash", "crash-point injection + recovery audit per workload")
+def _crash_sweep(*, ops: int, size: int, media: str, device_gib: int,
+                 aged: bool) -> Sweep:
+    """Both crash workloads at three seeds each.  ``ops`` bounds the
+    crash points explored per sweep point (every point is a full
+    machine replay, so the budget matters).  ``aged`` is deliberately
+    ignored: replicas always start from fresh images."""
+    max_points = max(4, min(ops, 48))
+    points = []
+    for workload in ("syncbench", "kvstore"):
+        for seed in (0, 1, 2):
+            points.append(SweepPoint(
+                experiment="crash", series=workload, x=seed,
+                params={"workload": workload, "seed": seed,
+                        "max_points": max_points, "media": media,
+                        "device_gib": device_gib},
+                media=media, device_gib=device_gib, aged=False))
+    return Sweep(name="crash",
+                 title="Crash recovery audit (points explored)",
+                 points=points, axis="seed")
 
 
 @sweep("numa", "file placement vs thread count on two sockets")

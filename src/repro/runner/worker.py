@@ -29,12 +29,17 @@ def _reset_naming_counters() -> None:
     into lock reports (``eph3.mmap_sem`` vs ``eph0.mmap_sem``).  A
     point executed third in a sequential parent must produce the same
     bytes as the same point executed first in a pool worker, so every
-    workload counter restarts from zero before a point runs.
+    workload counter restarts from zero before a point runs.  The
+    crash injector leans on the same reset for replica determinism:
+    every crash point rebuilds the machine and must see identical
+    file-set and store names.
     """
     for name, module in list(sys.modules.items()):
-        if (name.startswith("repro.workloads")
-                and hasattr(module, "_run_counter")):
-            module._run_counter = itertools.count()
+        if not name.startswith("repro.workloads"):
+            continue
+        for counter in ("_run_counter", "_store_counter"):
+            if hasattr(module, counter):
+                setattr(module, counter, itertools.count())
 
 
 def run_point(payload: Dict[str, object]) -> Dict[str, object]:

@@ -108,6 +108,8 @@ class System:
         self.trace = self._make_tracer()
         self._filetables: Optional[FileTableManager] = None
         self._process_count = 0
+        #: Attached :class:`repro.crash.PersistenceDomain`, if any.
+        self.persistence = None
 
     def _make_pools(self) -> "list[SharedBandwidth]":
         """One aggregate PMem bandwidth pool per socket.  The machine
@@ -205,6 +207,22 @@ class System:
             simulate_crash(self.vfs, seed=seed)
         else:
             self.vfs.inode_cache.evict_all()
+        self._reboot()
+        if self._filetables is not None:
+            report = RecoveryLog(self.vfs, self._filetables).recover_all()
+        return report
+
+    def _reboot(self) -> None:
+        """Replace the volatile machine state after a power cycle.
+
+        A fresh engine replaces the old one (all processes and kernel
+        threads are gone); bandwidth pools, interference stacks, free
+        interceptors and barriers reset.  Storage — the device, the
+        VFS namespace, persistent tables — is untouched.  Callers that
+        model a *crash* (rather than a clean shutdown) must discard
+        non-durable state first; the crash injector does this through
+        its PersistenceDomain before rebooting.
+        """
         self.engine = Engine(len(self.engine.cores),
                              topology=self.topology)
         self.fs.engine = self.engine
@@ -215,9 +233,17 @@ class System:
         self.mem.reset_interference()
         self.fs.free_interceptor = None
         self.fs.free_barriers.clear()
-        if self._filetables is not None:
-            report = RecoveryLog(self.vfs, self._filetables).recover_all()
-        return report
+
+    # -- crash exploration -------------------------------------------------
+    def attach_persistence(self, domain) -> None:
+        """Wire a :class:`repro.crash.PersistenceDomain` into every
+        layer that moves durable state: the file system (metadata and
+        journal transactions), the memory model (stream/copy/flush byte
+        accounting) and physical memory (PMem frame lifecycle)."""
+        self.persistence = domain
+        self.fs.persistence = domain
+        self.mem.persistence = domain
+        self.physmem.persistence = domain
 
     def seconds(self, cycles: Optional[float] = None) -> float:
         value = self.engine.now if cycles is None else cycles

@@ -25,6 +25,12 @@ class DirtyTracker:
     def __init__(self) -> None:
         self._dirty: Dict[int, Set[int]] = defaultdict(set)
         self._bytes: Dict[int, float] = defaultdict(float)
+        #: Granules collected by an in-flight msync (the *sync epoch*):
+        #: popped from the dirty set but not yet re-protected/flushed.
+        self._syncing: Dict[int, Set[int]] = {}
+        #: Granules written concurrently with the epoch; re-marked dirty
+        #: when the epoch ends so the next sync flushes them.
+        self._deferred: Dict[int, Set[int]] = defaultdict(set)
         self.tags_written = 0
 
     def mark(self, inode: Inode, granule_index: int) -> bool:
@@ -49,6 +55,33 @@ class DirtyTracker:
         self._bytes.pop(inode.number, None)
         return tags
 
+    # -- sync epochs (msync in flight) ---------------------------------
+    def begin_sync(self, inode: Inode) -> Set[int]:
+        """Open a sync epoch: collect the dirty tags, remember them.
+
+        Between ``begin_sync`` and ``end_sync`` the granules being
+        flushed are neither tagged dirty nor yet re-protected — a write
+        racing the sync lands *after* the flush swept the lines, so it
+        must be re-marked dirty after the epoch, not swallowed.
+        """
+        tags = self.collect(inode)
+        self._syncing[inode.number] = tags
+        return tags
+
+    def in_sync(self, inode: Inode, granule_index: int) -> bool:
+        """Is this granule being flushed by an in-flight msync?"""
+        return granule_index in self._syncing.get(inode.number, ())
+
+    def remark_after_sync(self, inode: Inode, granule_index: int) -> None:
+        """Queue a racing write's granule for re-tagging at epoch end."""
+        self._deferred[inode.number].add(granule_index)
+
+    def end_sync(self, inode: Inode) -> None:
+        """Close the epoch; re-mark granules written during it."""
+        self._syncing.pop(inode.number, None)
+        for granule_index in self._deferred.pop(inode.number, ()):
+            self.mark(inode, granule_index)
+
     def written_bytes(self, inode: Inode) -> float:
         return self._bytes.get(inode.number, 0.0)
 
@@ -56,3 +89,5 @@ class DirtyTracker:
         """Discard tags without flushing (unlink/eviction)."""
         self._dirty.pop(inode.number, None)
         self._bytes.pop(inode.number, None)
+        self._syncing.pop(inode.number, None)
+        self._deferred.pop(inode.number, None)

@@ -258,6 +258,12 @@ class MMStruct:
         gindex = (vma.file_offset + page * PAGE_SIZE) // granule
         track_key = gindex
         if track_key in vma.writable:
+            if self.page_cache.in_sync(vma.inode, gindex):
+                # The PTE is still writable only because an in-flight
+                # msync has not reprotected it yet; this write lands
+                # after that sync's flush swept the lines, so the
+                # granule must come back dirty *after* the sync epoch.
+                self.page_cache.remark_after_sync(vma.inode, gindex)
             return 0.0
         vma.writable.add(track_key)
         self.page_cache.mark(vma.inode, gindex)
@@ -410,6 +416,20 @@ class MMStruct:
         if numa_extra:
             yield charge(CostDomain.NUMA, "remote-access", numa_extra)
         yield charge(CostDomain.WALK, "tlb-walk", tlb_cost)
+
+        # -- durability shadowing and sync-epoch races ----------------------
+        if write and vma.inode is not None:
+            if vma.tracks_dirty:
+                granule = vma.dirty_granule or PAGE_SIZE
+                lo = (vma.file_offset + offset) // granule
+                hi = (vma.file_offset + offset + length - 1) // granule
+                for gindex in range(lo, hi + 1):
+                    if self.page_cache.in_sync(vma.inode, gindex):
+                        self.page_cache.remark_after_sync(vma.inode, gindex)
+            domain = getattr(self.mem, "persistence", None)
+            if domain is not None:
+                domain.data_store(vma.inode.number, nbytes * num_ops,
+                                  nt=ntstore)
         self.stats.add(Counter.VM_ACCESS_BYTES, nbytes * num_ops)
         if numa is not None:
             if numa_remote:
@@ -512,8 +532,15 @@ class MMStruct:
             self.stats.add(Counter.VM_MSYNC_NOOP)
             return
         granule = vma.dirty_granule or PAGE_SIZE
-        written = self.page_cache.written_bytes(vma.inode)
-        dirty = self.page_cache.collect(vma.inode)
+        inode = vma.inode
+        domain = getattr(self.mem, "persistence", None)
+        upto = (domain.cursor()
+                if domain is not None and inode is not None else None)
+        written = self.page_cache.written_bytes(inode)
+        # Open a sync epoch: between collecting the tags here and the
+        # reprotect below, racing writes find their PTEs still writable
+        # and must be re-marked dirty after the epoch closes.
+        dirty = self.page_cache.begin_sync(inode)
         # Every line of a dirty granule must be swept with clwb, but
         # only lines actually written generate write-back traffic.
         swept_lines = len(dirty) * granule / 64
@@ -524,24 +551,33 @@ class MMStruct:
         # reprotect touches *every* owner's page tables, so the
         # shootdown must reach the union of their active cores — an
         # IPI only to the caller's cpumask would leave stale writable
-        # TLB entries live in the other processes.
+        # TLB entries live in the other processes.  Only the granules
+        # this sync collected are reprotected; granules dirtied by
+        # writes racing the epoch keep their writable PTEs and their
+        # (re-marked) dirty tags.
         reprotect = 0.0
         protected_pages = 0
         flush_cores: Set[int] = set(self.active_cores)
-        for mapping in vma.inode.i_mmap:
-            if not mapping.writable:
+        for mapping in inode.i_mmap:
+            synced = mapping.writable & dirty
+            if not synced:
                 continue
             if mapping.mm is not None:
                 flush_cores |= mapping.mm.active_cores
-            protected_pages += len(mapping.writable) * (
+            protected_pages += len(synced) * (
                 (mapping.dirty_granule or PAGE_SIZE) // PAGE_SIZE)
-            reprotect += len(mapping.writable) * self.costs.pte_teardown
-            mapping.writable.clear()
+            reprotect += len(synced) * self.costs.pte_teardown
+            mapping.writable -= synced
         yield charge(CostDomain.COPY, "msync-flush", flush_cost)
         yield charge(CostDomain.SYSCALL, "msync-reprotect", reprotect)
         if protected_pages:
             yield from self.shootdowns.flush(
                 self._initiator_core(), flush_cores, protected_pages)
+        self.page_cache.end_sync(inode)
+        if upto is not None:
+            # msync returned: the stores issued before it are promised
+            # durable — flush, fence and acknowledge them.
+            domain.sync_data(inode.number, upto)
         self.stats.add(Counter.VM_MSYNC_CALLS)
         self.stats.add(Counter.VM_MSYNC_FLUSHED, len(dirty))
 

@@ -1,0 +1,179 @@
+"""Crash-point exploration: every enumerated point must recover.
+
+The property the subsystem exists to check: for each crash workload,
+crash the machine at any persistence-state transition, reboot, replay,
+and find **zero** invariant violations — no acked msync/fsync data
+lost, no torn extent trees, bitmaps consistent, tables rebuildable.
+The second half checks the checker itself: an intentionally injected
+ordering bug (acknowledging journal commits without fencing the commit
+record) must be *caught*.
+"""
+
+import pytest
+
+from repro.crash import (
+    CrashInjector,
+    CrashTriggered,
+    PersistenceDomain,
+    StoreState,
+    run_crash,
+)
+from repro.system import System
+
+
+def factory():
+    return System(device_bytes=1 << 30)
+
+
+# ---------------------------------------------------------------------------
+# The recovery property, over both workloads and several seeds.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workload", ["syncbench", "kvstore"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_every_explored_crash_point_recovers_cleanly(workload, seed):
+    summary = run_crash(factory, workload, seed=seed, max_points=8)
+    assert summary.total_transitions >= 100
+    assert summary.points_explored == 8
+    assert summary.violations == []
+    for outcome in summary.outcomes:
+        assert outcome.ok
+        assert outcome.recovery_cycles >= 0
+
+
+def test_syncbench_crashes_actually_lose_undurable_state():
+    """The sweep is only meaningful if crashes discard something."""
+    summary = run_crash(factory, "syncbench", seed=0, max_points=10)
+    state = summary.to_state()
+    assert state["lost_records"] > 0
+    assert state["rolled_back_txns"] > 0
+    assert state["invariant_violations"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Determinism: same seed, same machine, same outcome — golden-file-able.
+# ---------------------------------------------------------------------------
+def test_probe_and_point_selection_are_deterministic():
+    a = CrashInjector(factory, "syncbench", seed=3, max_points=6)
+    b = CrashInjector(factory, "syncbench", seed=3, max_points=6)
+    ta, tb = a.probe(), b.probe()
+    assert ta == tb
+    assert a.select_points(ta) == b.select_points(tb)
+
+
+def test_crash_sweep_is_replica_deterministic():
+    a = run_crash(factory, "kvstore", seed=2, max_points=5)
+    b = run_crash(factory, "kvstore", seed=2, max_points=5)
+    assert a.to_state() == b.to_state()
+    assert a.outcomes == b.outcomes
+
+
+# ---------------------------------------------------------------------------
+# The bug fixture: the checker must catch a broken fence discipline.
+# ---------------------------------------------------------------------------
+def test_skipped_commit_fence_is_caught_by_checker():
+    broken = CrashInjector(factory, "syncbench", seed=0, max_points=4,
+                           break_commit_fence=True)
+    total = broken.probe()
+    outcome = broken.run_point(total - 1)
+    assert not outcome.ok
+    assert any("acked" in v and "lost" in v for v in outcome.violations)
+
+    clean = CrashInjector(factory, "syncbench", seed=0, max_points=4)
+    good = clean.run_point(clean.probe() - 1)
+    assert good.ok
+
+
+# ---------------------------------------------------------------------------
+# Domain unit behaviour backing the property above.
+# ---------------------------------------------------------------------------
+class _NoLuck:
+    """rng stub: unfenced flushes never drain."""
+
+    def random(self):
+        return 1.0
+
+
+class _AllLuck:
+    def random(self):
+        return 0.0
+
+
+def test_domain_three_state_lifecycle():
+    domain = PersistenceDomain()
+    rec = domain.data_store(1, 4096)
+    assert rec.state is StoreState.VOLATILE
+    domain.flush(rec)
+    assert rec.state is StoreState.FLUSHED
+    domain.fence()
+    assert rec.state is StoreState.DURABLE
+    state = domain.apply_crash(_NoLuck())
+    assert rec.survived and not rec.lost
+    assert state.lost_records == 0
+
+
+def test_unfenced_flush_survival_is_coin_flipped():
+    lucky = PersistenceDomain()
+    lucky.data_store(1, 4096, nt=True)  # flushed, never fenced
+    assert lucky.apply_crash(_AllLuck()).lost_records == 0
+
+    unlucky = PersistenceDomain()
+    unlucky.data_store(1, 4096, nt=True)
+    assert unlucky.apply_crash(_NoLuck()).lost_records == 1
+
+
+def test_acked_data_loss_is_a_violation():
+    domain = PersistenceDomain()
+    domain.data_store(1, 4096, nt=True)
+    domain.sync_data(1, domain.cursor())  # fence + ack
+    domain.records[0].state = StoreState.FLUSHED  # simulate bad fence
+    state = domain.apply_crash(_NoLuck())
+    assert state.acked_lost == 1
+    assert state.violations
+
+
+def test_uncommitted_metadata_is_undone_in_reverse_order():
+    undone = []
+    domain = PersistenceDomain()
+    domain.meta_store("a", 1, 64, undo=lambda: undone.append("a"))
+    domain.meta_store("b", 1, 64, undo=lambda: undone.append("b"))
+    state = domain.apply_crash(_NoLuck())
+    assert undone == ["b", "a"]
+    assert state.rolled_back_txns == 1
+
+
+def test_committed_transaction_survives_and_runs_deferred_frees():
+    freed = []
+    domain = PersistenceDomain()
+    domain.meta_store("trunc", 1, 64,
+                      on_durable=lambda: freed.append("blocks"))
+    domain.commit_metadata(acked=True)
+    assert freed == ["blocks"]  # the commit fence ran the deferral
+    state = domain.apply_crash(_NoLuck())
+    assert state.lost_records == 0
+    assert not domain.records[0].lost
+
+
+def test_armed_domain_raises_at_its_transition():
+    domain = PersistenceDomain(crash_at=1)
+    domain.data_store(1, 4096)  # transition 0
+    with pytest.raises(CrashTriggered):
+        domain.data_store(1, 4096)  # transition 1: boom
+    # The crashing store was never recorded (power died mid-store).
+    assert len(domain.records) == 1
+
+
+def test_journal_replay_stops_at_first_torn_commit():
+    """A surviving commit *after* a torn one is still rolled back —
+    journal replay is a sequential scan."""
+    undone = []
+    domain = PersistenceDomain()
+    domain.meta_store("t1", 1, 64, undo=lambda: undone.append("t1"))
+    domain.commit_metadata(acked=False)
+    domain.meta_store("t2", 1, 64, undo=lambda: undone.append("t2"))
+    domain.commit_metadata(acked=False)
+    # Tear the first commit record; leave the second durable.
+    first_commit = next(r for r in domain.records if r.kind == "commit")
+    first_commit.state = StoreState.FLUSHED
+    state = domain.apply_crash(_NoLuck())
+    assert undone == ["t2", "t1"]
+    assert state.rolled_back_txns == 2

@@ -1,0 +1,34 @@
+"""The crash-smoke golden gate (DESIGN.md §9).
+
+Replays the pinned crash sweeps of :mod:`repro.crash.golden` and
+asserts (a) zero invariant violations at every explored crash point
+and (b) byte-for-byte agreement with the committed golden file — i.e.
+the crash exploration is replica-deterministic.
+
+Recapture (``python -m repro.crash.golden``) only when a PR
+intentionally changes what the tracked workloads persist, and say so
+in the PR.
+"""
+
+import json
+
+from repro.crash.golden import GOLDEN_PATH, golden_json
+
+
+def test_crash_smoke_matches_golden_with_zero_violations():
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; capture it on a known-good commit with "
+        "`python -m repro.crash.golden`")
+    current = golden_json()
+    states = json.loads(current)
+    for name, state in states.items():
+        assert state["invariant_violations"] == 0, (
+            f"{name}: crash recovery violated an invariant")
+        assert state["points_explored"] > 0, name
+    golden = GOLDEN_PATH.read_text()
+    if current != golden:  # pragma: no cover - failure diagnostics
+        cur, ref = json.loads(current), json.loads(golden)
+        for name in ref:
+            assert cur.get(name) == ref[name], (
+                f"{name} drifted from the golden crash sweep")
+    assert current == golden
