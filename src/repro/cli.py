@@ -102,7 +102,10 @@ def _run_named_sweep(args, name: str):
                         media=args.media, device_gib=args.device,
                         aged=not args.fresh)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return run_sweep(sweep, jobs=args.jobs, cache=cache)
+    return run_sweep(sweep, jobs=args.jobs, cache=cache,
+                     point_timeout=args.point_timeout,
+                     max_retries=args.max_retries,
+                     retry_seed=args.seed)
 
 
 @experiment("scaling", "read-once throughput vs thread count (fig 1b)")
@@ -243,6 +246,47 @@ def _crash(args):
             f"violation(s) across {summary.points_explored} points")
 
 
+@experiment("faults", "media-fault injection + poison-handling audit")
+def _faults(args):
+    from repro.faults import FAULT_WORKLOADS, run_faults
+
+    if args.workload not in FAULT_WORKLOADS:
+        raise SystemExit(
+            f"faults: unknown workload {args.workload!r}; known: "
+            + ", ".join(sorted(FAULT_WORKLOADS)))
+    costs = MEDIA_PRESETS[args.media]()
+    topology = (MachineTopology.split(costs.machine, args.nodes)
+                if args.nodes > 1 else None)
+
+    def factory() -> System:
+        # Fresh images: each armed site rebuilds the machine, and
+        # aging churn adds nothing to poison-handling coverage.
+        return System(costs=costs, device_bytes=args.device << 30,
+                      aged=False, fs_type=args.fs, topology=topology,
+                      placement=args.policy, pin_node=args.pin_node)
+
+    summary = run_faults(factory, args.workload, seed=args.seed,
+                         max_sites=args.max_sites)
+    if args.json:
+        print(json.dumps(summary.to_state(), indent=2, sort_keys=True))
+    else:
+        state = summary.to_state()
+        table = Table(
+            f"Media-fault sweep: {summary.workload}, "
+            f"seed {summary.seed}", ["metric", "value"])
+        for key in ("total_touches", "sites_explored", "remapped",
+                    "cleared", "sigbus_cleared", "bw_windows", "stalls",
+                    "bytes_lost", "violations"):
+            table.add_row(key, state[key])
+        print(format_table(table))
+        for line in summary.violations:
+            print(f"VIOLATION: {line}")
+    if summary.violations:
+        raise SystemExit(
+            f"faults: {len(summary.violations)} unhandled-poison "
+            f"violation(s) across {summary.sites_explored} sites")
+
+
 @perf_target("fig7", "per-domain cycle breakdown of ext4-DAX appends")
 def _perf_fig7(args):
     """Where do mmap-append cycles go?  The ledger answers directly:
@@ -364,6 +408,19 @@ def _sweep_cmd(args) -> int:
                        result.wall_seconds))
     print()
     print(format_table(result.table()))
+    if result.failed:
+        print()
+        print(format_table(result.failed_table()))
+        print(f"sweep: {len(result.failed)} point(s) quarantined, "
+              f"{len(result.points)} completed", file=sys.stderr)
+    if args.expect_failed is not None:
+        if len(result.failed) != args.expect_failed:
+            print(f"sweep: expected exactly {args.expect_failed} "
+                  f"quarantined point(s), got {len(result.failed)}",
+                  file=sys.stderr)
+            return 1
+    elif result.failed:
+        return 1
     if args.verify_cache:
         if args.no_cache:
             print("sweep: --verify-cache needs the cache; "
@@ -426,15 +483,31 @@ def build_parser() -> argparse.ArgumentParser:
                              "--pin-node (multi-socket only)")
     parser.add_argument("--pin-node", type=int, default=0,
                         help="socket the placement is defined against")
-    parser.add_argument("--workload", choices=("syncbench", "kvstore"),
+    parser.add_argument("--workload",
+                        choices=("syncbench", "kvstore", "readbench"),
                         default="syncbench",
-                        help="crash workload (with 'crash')")
+                        help="crash/fault workload (with 'crash' or "
+                             "'faults'; 'readbench' is faults-only)")
     parser.add_argument("--seed", type=int, default=0,
-                        help="crash-point sampling / survival seed")
+                        help="crash/fault sampling seed (also seeds "
+                             "sweep retry backoff)")
     parser.add_argument("--max-points", type=int, default=64,
                         help="crash points to explore (with 'crash')")
+    parser.add_argument("--max-sites", type=int, default=64,
+                        help="fault sites to arm (with 'faults')")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep execution")
+    parser.add_argument("--point-timeout", type=float, default=None,
+                        help="watchdog seconds per sweep point; hung "
+                             "points are quarantined (needs --jobs >= 2 "
+                             "for isolation)")
+    parser.add_argument("--max-retries", type=int, default=0,
+                        help="retries for retryable sweep-point "
+                             "failures (seeded exponential backoff)")
+    parser.add_argument("--expect-failed", type=int, default=None,
+                        help="sweep exits 0 only if exactly this many "
+                             "points were quarantined (CI isolation "
+                             "checks); default: any failure exits 1")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the sweep result cache")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,

@@ -215,6 +215,24 @@ class CostModel:
     prezero_throttle_bw: float = 64.0e6
 
     # ------------------------------------------------------------------
+    # Media-error handling costs (repro.faults; charged only when a
+    # fault plan is armed on the machine).
+    # ------------------------------------------------------------------
+    #: Kernel handling of one uncorrectable error report: MCE/ARS
+    #: notification plus the pmem badblocks-list update.
+    media_error_handle: float = 25000.0
+    #: Remap one bad block inside an extent: replacement allocation,
+    #: extent-tree surgery and bitmap/metadata updates.
+    media_remap_per_block: float = 6000.0
+    #: ``memory_failure()`` base cost: rmap walk setup, page poison
+    #: bookkeeping and the hwpoison entry swap (per-PTE teardown is
+    #: charged on top via ``pte_teardown``).
+    memory_failure_base: float = 180000.0
+    #: Driver clear-poison path per block: the ioctl/ARS round plus the
+    #: fenced nt-store overwrite that scrubs the line.
+    clear_poison_per_block: float = 40000.0
+
+    # ------------------------------------------------------------------
     # DaxVM policies (paper Sections IV-A..IV-E).
     # ------------------------------------------------------------------
     #: Files up to this size keep volatile (DRAM) file tables.

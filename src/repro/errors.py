@@ -85,6 +85,48 @@ class NoSpaceError(FileSystemError):
     errno_name = "ENOSPC"
 
 
+class MediaError(ReproError):
+    """An uncorrectable PMem media error (a badblock / poisoned line).
+
+    Subclasses model the three ways Linux surfaces one: EIO from the
+    block path, SIGBUS from a DAX-mapped load, and transient device
+    stalls.  ``retryable`` marks failures the sweep runner may retry
+    with backoff instead of quarantining the point outright.
+    """
+
+    errno_name = "EIO"
+    retryable = False
+
+
+class BadBlockError(MediaError):
+    """A read/append touched a block on the device badblocks list."""
+
+
+class PoisonedPageError(MediaError):
+    """Simulated SIGBUS: an access consumed a poisoned line via DAX.
+
+    Raised into the faulting simulated thread; workloads can catch it
+    (the SIGBUS-handler idiom) or die on it, exactly like a process
+    under ``memory_failure()``.
+    """
+
+    signal_name = "SIGBUS"
+
+    def __init__(self, message: str, *, frame: int = -1,
+                 inode: int = -1, path: str = "", file_page: int = -1):
+        super().__init__(message)
+        self.frame = frame
+        self.inode = inode
+        self.path = path
+        self.file_page = file_page
+
+
+class DeviceStallError(MediaError):
+    """The device stalled past an operation deadline (transient)."""
+
+    retryable = True
+
+
 class NotSupportedError(ReproError):
     """Operation rejected by a relaxed-POSIX interface (e.g. DaxVM)."""
 

@@ -1,0 +1,95 @@
+"""Pinned mini-sweeps for the fault-subsystem equivalence gate.
+
+The fault paths added to ``fs``, ``vm`` and ``mem`` must be *free*
+when no fault state is armed: every existing experiment has to charge
+exactly the cycles it charged before the subsystem existed.  This
+module pins that promise the honest way — the golden file was captured
+from the tree **before** any fault hook landed, and
+``tests/test_faults_golden.py`` replays the same points (with and
+without an empty :class:`~repro.faults.plan.FaultPlan` attached) and
+byte-compares the results.
+
+``python -m repro.faults.golden`` recaptures the file; do that only
+when a PR intentionally changes simulated costs, and say so in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+GOLDEN_PATH = (Path(__file__).resolve().parents[3]
+               / "tests" / "golden" / "faults_equivalence.json")
+
+#: (sweep name, builder knobs, point filter) — small enough for CI,
+#: wide enough to cross the read/write/mmap/DaxVM, NUMA and crash
+#: paths the fault hooks sit on.
+PINNED = (
+    ("scaling", {"ops": 8, "size": 64 << 10, "media": "optane",
+                 "device_gib": 1, "aged": False}, (1, 2)),
+    ("apache", {"ops": 12, "size": 64 << 10, "media": "optane",
+                "device_gib": 1, "aged": False}, (1, 4)),
+    ("numa", {"ops": 6, "size": 64 << 10, "media": "optane",
+              "device_gib": 1, "aged": False}, (1, 2)),
+    ("crash", {"ops": 6, "size": 64 << 10, "media": "optane",
+               "device_gib": 1, "aged": False}, (0,)),
+)
+
+
+def golden_states(attach=None) -> Dict[str, Dict[str, object]]:
+    """Run every pinned point on a fresh machine; ``attach`` (used by
+    the gate test) receives each :class:`~repro.system.System` before
+    the point runs — e.g. to arm an empty fault plan."""
+    from repro.config import MEDIA_PRESETS
+    from repro.runner.manifest import result_state
+    from repro.runner.sweeps import POINT_RUNNERS, build_sweep
+    from repro.runner.worker import _reset_naming_counters
+    from repro.system import System
+    from repro.topology import MachineTopology
+
+    out: Dict[str, Dict[str, object]] = {}
+    for name, knobs, xs in PINNED:
+        sweep = build_sweep(name, **knobs)
+        states: Dict[str, object] = {}
+        for point in sweep.points:
+            if point.x not in xs:
+                continue
+            # Mirrors repro.runner.worker.run_point, with the attach
+            # hook the pool path has no need for.
+            _reset_naming_counters()
+            costs = MEDIA_PRESETS[point.media]()
+            topology = (MachineTopology.split(costs.machine,
+                                              point.num_nodes)
+                        if point.num_nodes > 1 else None)
+            system = System(costs=costs,
+                            device_bytes=point.device_gib << 30,
+                            aged=point.aged, topology=topology,
+                            placement=point.placement,
+                            pin_node=point.pin_node)
+            if attach is not None:
+                attach(system)
+            run = POINT_RUNNERS[point.experiment](system, **point.params)
+            locks = [lock.report() for lock in system.engine.locks
+                     if lock.acquisitions]
+            state = result_state(run, system.stats, system.ledger,
+                                 locks, 0.0)
+            states[point.label] = {k: v for k, v in state.items()
+                                   if k != "wall_seconds"}
+        out[name] = states
+    return out
+
+
+def golden_json(attach=None) -> str:
+    return json.dumps(golden_states(attach), indent=2,
+                      sort_keys=True) + "\n"
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(golden_json())
+    print(f"captured {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,282 @@
+"""Deterministic media-fault sweeps: probe, arm, inject, audit.
+
+The injector mirrors the crash injector's replica discipline: a probe
+run over a fresh machine counts every media touch the workload makes;
+:meth:`FaultPlan.generate` draws a seeded site sample over those
+touches; then each site runs on its *own* fresh replica (naming
+counters reset, same factory), so the site fires on exactly the
+operation the probe observed and outcomes are reproducible and
+golden-file-able.
+
+The audit is the point: an uncorrectable error must end **handled** —
+remapped (loss accounted), cleared in place, or SIGBUS-delivered and
+then repaired by the userspace protocol (full-block nt-store overwrite
+→ DAX clear-poison → read-back verify).  Any other ending is a
+violation and the ``faults`` experiment exits non-zero on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.analysis.results import RunResult
+from repro.crash.workloads import CRASH_WORKLOADS
+from repro.errors import InvalidArgumentError, PoisonedPageError
+from repro.faults.model import MediaFaults, SiteOutcome
+from repro.faults.plan import FaultKind, FaultPlan, FaultSite, TouchRecord
+from repro.fs.block import BLOCK_SIZE
+from repro.obs import CostDomain
+from repro.runner.worker import _reset_naming_counters
+from repro.system import System
+
+def _readbench(system: System) -> None:
+    """Append-then-read driver: the only touch mix the crash workloads
+    lack is FS *reads*, whose partial-block UEs exercise the extent
+    remap + quarantine path (a full-block write clears in place
+    instead)."""
+    fs = system.fs
+
+    def io():
+        f = yield from fs.open("/faults-read", create=True)
+        for i in range(16):
+            yield from fs.write(f, i * (16 << 10), 16 << 10)
+        yield from fs.fsync(f)
+        for i in range(32):
+            offset = (i % 16) * (16 << 10) + 1024
+            yield from fs.read(f, offset, 4 << 10)
+        yield from fs.close(f)
+
+    system.spawn(io(), core=0, name="faults-read")
+    system.run()
+
+
+#: Media-fault workloads are the crash workloads (short, deterministic
+#: drivers covering the FS append path, mmap stores + msync and DaxVM
+#: attachments) plus a read-heavy driver for the remap path.
+FAULT_WORKLOADS = dict(CRASH_WORKLOADS)
+FAULT_WORKLOADS["readbench"] = _readbench
+
+
+@dataclass
+class FaultSummary:
+    """Aggregate of one fault sweep (one workload, one seed)."""
+
+    workload: str
+    seed: int
+    max_sites: int
+    total_touches: int
+    outcomes: List[SiteOutcome] = field(default_factory=list)
+    freq_hz: float = 2.7e9
+
+    @property
+    def sites_explored(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def violations(self) -> List[str]:
+        found = []
+        for outcome in self.outcomes:
+            found.extend(f"touch {outcome.touch}: {v}"
+                         for v in outcome.violations)
+        return found
+
+    @property
+    def handling_cycles(self) -> float:
+        return sum(o.handling_cycles for o in self.outcomes)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.outcome] = counts.get(outcome.outcome, 0) + 1
+        return counts
+
+    def to_state(self) -> Dict[str, object]:
+        """Integer-exact summary for golden files and sweep caching."""
+        counts = self.outcome_counts()
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "total_touches": self.total_touches,
+            "sites_explored": self.sites_explored,
+            "remapped": counts.get("remapped", 0),
+            "cleared": counts.get("cleared", 0),
+            "sigbus_cleared": counts.get("sigbus-cleared", 0),
+            "bw_windows": counts.get("bw-window", 0),
+            "stalls": counts.get("stall", 0),
+            "bytes_lost": sum(o.bytes_lost for o in self.outcomes),
+            "violations": len(self.violations),
+        }
+
+    def to_result(self) -> RunResult:
+        """Shape the sweep like any other run: operations are explored
+        sites, cycles are the machine's fault-handling work."""
+        state = self.to_state()
+        counters = {f"faults.{key}": float(value)
+                    for key, value in state.items()
+                    if isinstance(value, (int, float))}
+        return RunResult(
+            label=f"faults:{self.workload}/seed{self.seed}",
+            cycles=self.handling_cycles,
+            operations=float(self.sites_explored),
+            counters=counters,
+            domains={"faults": self.handling_cycles},
+            freq_hz=self.freq_hz,
+        )
+
+
+class FaultInjector:
+    """Probes, arms and audits media-fault sites for one workload."""
+
+    def __init__(self, factory: Callable[[], System],
+                 workload: Union[str, Callable[[System], None]],
+                 *, seed: int = 0, max_sites: int = 64,
+                 plan: Optional[FaultPlan] = None):
+        self.factory = factory
+        if callable(workload):
+            self.workload = workload
+            self.workload_name = getattr(workload, "__name__", "custom")
+        else:
+            fn = FAULT_WORKLOADS.get(workload)
+            if fn is None:
+                raise InvalidArgumentError(
+                    f"unknown fault workload {workload!r}; known: "
+                    f"{sorted(FAULT_WORKLOADS)}")
+            self.workload = fn
+            self.workload_name = workload
+        self.seed = seed
+        self.max_sites = max_sites
+        self.plan = plan
+        self._freq = 2.7e9
+
+    # -- machine construction ------------------------------------------
+    def _build(self, faults: MediaFaults) -> System:
+        _reset_naming_counters()
+        system = self.factory()
+        system.attach_faults(faults)
+        self._freq = system.costs.machine.freq_hz
+        return system
+
+    # -- exploration ----------------------------------------------------
+    def probe(self) -> List[TouchRecord]:
+        """Run once unarmed; returns the touch records."""
+        faults = MediaFaults(FaultPlan.empty(), probe=True)
+        system = self._build(faults)
+        self.workload(system)
+        return faults.records or []
+
+    def run_site(self, site: FaultSite) -> SiteOutcome:
+        """Arm one site on a fresh replica, run, audit the outcome."""
+        faults = MediaFaults(FaultPlan((site,)))
+        system = self._build(faults)
+        violations: List[str] = []
+        sigbus: Optional[PoisonedPageError] = None
+        try:
+            self.workload(system)
+        except PoisonedPageError as err:
+            sigbus = err
+            # The SIGBUS killed the workload thread mid-run; retire it
+            # so the repair phase can reuse the machine.
+            system.engine.reap_crashed()
+            self._repair(system, err, violations)
+        outcome = self._classify(site, faults, sigbus, violations)
+        handling = system.engine.ledger.domain_total(CostDomain.FAULTS)
+        return SiteOutcome(touch=site.touch, kind=site.kind,
+                           outcome=outcome, violations=violations,
+                           bytes_lost=faults.bytes_lost,
+                           handling_cycles=handling)
+
+    def _repair(self, system: System, err: PoisonedPageError,
+                violations: List[str]) -> None:
+        """The userspace poison-repair protocol after a SIGBUS.
+
+        Overwrite the whole poisoned block through the FS write path
+        (nt-stores → the driver's clear-poison), then read it back to
+        prove it is serviceable again.  Uses only file descriptors —
+        the dead thread may have left mmap state behind, and the FS
+        path takes none of its locks.
+        """
+        fs = system.fs
+
+        def repair():
+            f = yield from fs.open(err.path)
+            offset = err.file_page * BLOCK_SIZE
+            yield from fs.write(f, offset, BLOCK_SIZE)
+            yield from fs.read(f, offset, BLOCK_SIZE)
+            yield from fs.close(f)
+
+        try:
+            system.spawn(repair(), core=0, name="faults-repair")
+            system.run()
+        except PoisonedPageError:
+            system.engine.reap_crashed()
+            violations.append(
+                f"poison on {err.path} page {err.file_page} survived "
+                f"the clear-poison repair")
+
+    def _classify(self, site: FaultSite, faults: MediaFaults,
+                  sigbus: Optional[PoisonedPageError],
+                  violations: List[str]) -> str:
+        if site.kind is FaultKind.STALL:
+            if faults.stalls == 0:
+                violations.append("stall site never fired")
+            return "stall"
+        if site.kind is FaultKind.BW_WINDOW:
+            if faults.bw_entered == 0:
+                violations.append("bandwidth window never opened")
+            return "bw-window"
+        # UE kinds: the error must have been *handled*, not just armed.
+        if faults.armed == 0:
+            violations.append("UE site never armed (replica drift)")
+            return "not-armed"
+        if sigbus is not None:
+            if faults.poisoned:
+                return "sigbus-lost"
+            if faults.cleared == 0 and faults.remapped == 0:
+                violations.append(
+                    "SIGBUS delivered but no clear/remap recorded")
+            return "sigbus-cleared"
+        if faults.remapped:
+            return "remapped"
+        if faults.cleared:
+            return "cleared"
+        if faults.poisoned or self._still_bad(faults):
+            violations.append(
+                "UE armed but never remapped, cleared or delivered "
+                "(silent latent error)")
+            return "latent"
+        return "handled"
+
+    @staticmethod
+    def _still_bad(faults: MediaFaults) -> bool:
+        system = faults.system
+        return bool(system is not None and system.fs.device.badblocks)
+
+    # -- the sweep -------------------------------------------------------
+    def run(self) -> FaultSummary:
+        records = self.probe()
+        plan = self.plan
+        if plan is None:
+            plan = FaultPlan.generate(records, seed=self.seed,
+                                      max_sites=self.max_sites)
+        summary = FaultSummary(workload=self.workload_name,
+                               seed=self.seed, max_sites=self.max_sites,
+                               total_touches=len(records),
+                               freq_hz=self._freq)
+        for site in plan.ordered():
+            summary.outcomes.append(self.run_site(site))
+        return summary
+
+
+def run_faults(factory: Callable[[], System],
+               workload: Union[str, Callable[[System], None]],
+               *, seed: int = 0, max_sites: int = 64,
+               plan: Optional[FaultPlan] = None) -> FaultSummary:
+    """One-call media-fault sweep: probe, arm, inject, audit."""
+    injector = FaultInjector(factory, workload, seed=seed,
+                             max_sites=max_sites, plan=plan)
+    return injector.run()
+
+
+__all__ = ["FAULT_WORKLOADS", "FaultInjector", "FaultSummary",
+           "run_faults"]

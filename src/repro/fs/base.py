@@ -76,6 +76,12 @@ class FileSystem:
         #: durability state (volatile/flushed/fenced) for crash-point
         #: exploration.  ``None`` in ordinary performance runs.
         self.persistence = None
+        #: Optional :class:`repro.faults.MediaFaults`; when attached the
+        #: read/append paths advance its fault clock and consult the
+        #: device badblocks list (remapping or clearing on error).
+        #: ``None`` in ordinary performance runs — the paths then skip
+        #: the scan entirely and charge nothing.
+        self.faults = None
 
     def _device_wait(self, read_bytes: float, write_bytes: float) -> float:
         """Extra cycles from aggregate PMem bandwidth contention."""
@@ -130,6 +136,9 @@ class FileSystem:
                      self.costs.syscall_crossing)
         if nbytes == 0:
             return 0
+        if self.faults is not None:
+            yield from self._media_scan(file.inode, offset, nbytes,
+                                        write=False)
         extents = self._extents_touched(file.inode, offset, nbytes)
         lookup = self.costs.extent_lookup * extents
         copy = self.mem.memcpy(nbytes, Medium.PMEM, Medium.DRAM, kernel=True)
@@ -156,6 +165,9 @@ class FileSystem:
             needed = -(-new_end // BLOCK_SIZE) - file.inode.block_count
             yield from self._allocate(file.inode, needed,
                                       zero=self.zeroes_on_write_path)
+        if self.faults is not None:
+            yield from self._media_scan(file.inode, offset, nbytes,
+                                        write=True)
         extents = self._extents_touched(file.inode, offset, nbytes)
         lookup = self.costs.extent_lookup * extents
         copy = self.mem.memcpy(nbytes, Medium.DRAM, Medium.PMEM,
@@ -396,6 +408,85 @@ class FileSystem:
         domain.meta_store("truncate", inode.number, 64, undo=undo,
                           on_durable=on_durable)
         return deferred
+
+    # ------------------------------------------------------------------
+    # Media-error handling (repro.faults; every helper is unreachable
+    # without an attached MediaFaults, so ordinary runs charge nothing).
+    # ------------------------------------------------------------------
+    def _media_scan(self, inode: Inode, offset: int, nbytes: int,
+                    write: bool):
+        """Consult the badblocks list over one read/append window.
+
+        Advances the fault clock by one touch (which may arm a UE on
+        the first touched block or inject a stall/bandwidth window),
+        then handles every bad block found: a full-block nt-store
+        overwrite clears the error in place (the DAX clear-poison
+        path); anything else remaps the block to a fresh allocation
+        and quarantines the bad one.  Read-path remaps lose the
+        block's previous contents — the loss is *accounted*
+        (``faults.bytes_lost``), never silent.
+        """
+        faults = self.faults
+        first = offset // BLOCK_SIZE
+        last = (offset + max(nbytes, 1) - 1) // BLOCK_SIZE
+        touched: List[Tuple[int, int]] = []
+        for logical in range(first, last + 1):
+            physical = inode.extents.physical_block(logical)
+            if physical is not None:
+                touched.append((logical, physical))
+        stall = faults.block_touch("write" if write else "read", inode,
+                                   [phys for _lb, phys in touched])
+        if stall:
+            yield charge(CostDomain.FAULTS, "device-stall", stall)
+        if not self.device.badblocks:
+            return
+        bad = [(lb, phys) for lb, phys in touched
+               if self.device.is_bad(phys)]
+        if not bad:
+            return
+        yield charge(CostDomain.FAULTS, "media-error",
+                     self.costs.media_error_handle * len(bad))
+        for logical, physical in bad:
+            covered = (write
+                       and offset <= logical * BLOCK_SIZE
+                       and offset + nbytes >= (logical + 1) * BLOCK_SIZE)
+            if covered:
+                # The whole block is being rewritten with nt-stores:
+                # the driver's clear-poison path scrubs it in place and
+                # drops it from the badblocks list.
+                self.device.clear_bad(physical)
+                faults.note_cleared(physical)
+                yield charge(CostDomain.FAULTS, "clear-poison",
+                             self.costs.clear_poison_per_block)
+            else:
+                yield from self._remap_bad_block(
+                    inode, logical, physical, data_lost=not write)
+
+    def _remap_bad_block(self, inode: Inode, logical: int, physical: int,
+                         data_lost: bool):
+        """Relocate one bad block and permanently retire the old one."""
+        runs = self.device.alloc(1, prefer_contiguous=True)
+        new_physical = runs[0][0]
+        inode.extents.replace_block(logical, new_physical)
+        self.device.quarantine(physical)
+        self.zeroed.remove(new_physical, new_physical + 1)
+        yield charge(CostDomain.FAULTS, "ue-remap",
+                     self.costs.media_remap_per_block
+                     + self.costs.block_alloc)
+        # DaxVM file tables hold direct PTEs to the old frame; rewrite
+        # them from the remapped page onward so walks can never reach
+        # the quarantined block.
+        fixup = 0.0
+        for table in (inode.volatile_file_table,
+                      inode.persistent_file_table):
+            if table is not None:
+                fixup += table.truncate(logical)
+                fixup += table.extend(self)
+        if fixup:
+            self.stats.add(Counter.FS_FILETABLE_MAINTENANCE_CYCLES, fixup)
+            yield charge(CostDomain.FILETABLE, "remap-fixup", fixup)
+        self.faults.note_remapped(physical, new_physical,
+                                  BLOCK_SIZE if data_lost else 0)
 
     def _extents_touched(self, inode: Inode, offset: int,
                          nbytes: int) -> int:

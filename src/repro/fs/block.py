@@ -65,6 +65,14 @@ class BlockDevice:
         self._contig_fail_hint: set = set()
         #: Next-fit goal cursor (index into the free list).
         self._cursor = 0
+        #: Blocks with uncorrectable media errors (the pmem badblocks
+        #: list).  Consulted by the FS read/append paths; maintained by
+        #: repro.faults arming, ``memory_failure()`` poisoning and the
+        #: clear-poison path.  Empty in ordinary runs.
+        self.badblocks: set = set()
+        #: Blocks permanently retired after an error (never returned
+        #: to the free pool again).  Capacity lost to media wear.
+        self.quarantined: set = set()
 
     # -- helpers -------------------------------------------------------------
     def frame_of(self, block: int) -> int:
@@ -87,6 +95,42 @@ class BlockDevice:
     @property
     def utilization(self) -> float:
         return self.used_blocks / self.total_blocks
+
+    # -- media errors (badblocks list) --------------------------------------
+    def mark_bad(self, block: int) -> None:
+        """Record an uncorrectable error against a block."""
+        if not 0 <= block < self.total_blocks:
+            raise ValueError(f"badblock {block} outside device")
+        self.badblocks.add(block)
+
+    def clear_bad(self, block: int) -> None:
+        """Clear-poison succeeded: the block is serviceable again."""
+        self.badblocks.discard(block)
+
+    def is_bad(self, block: int) -> bool:
+        return block in self.badblocks
+
+    def bad_in_run(self, start: int, length: int) -> List[int]:
+        """Badblocks inside ``[start, start+length)``, sorted.
+
+        Iterates the badblocks list (not the run): the list is tiny
+        while runs can span gigabytes.
+        """
+        if not self.badblocks:
+            return []
+        end = start + length
+        return sorted(b for b in self.badblocks if start <= b < end)
+
+    def quarantine(self, block: int) -> None:
+        """Permanently retire an in-use block after a remap.
+
+        The block leaves the badblocks list (its error has been dealt
+        with) and joins the quarantined set; :meth:`free` will never
+        return it to the free pool, so the allocator can never hand it
+        to another file.
+        """
+        self.badblocks.discard(block)
+        self.quarantined.add(block)
 
     # -- allocation ---------------------------------------------------------
     #: Extents inspected around the goal cursor when hunting for an
@@ -177,11 +221,29 @@ class BlockDevice:
 
     # -- freeing ------------------------------------------------------------
     def free(self, start: int, length: int) -> None:
-        """Return a run of blocks, coalescing with neighbours."""
+        """Return a run of blocks, coalescing with neighbours.
+
+        Quarantined blocks inside the run stay retired: the run is
+        split around them and only the healthy sub-runs come back.
+        """
         if length <= 0:
             raise ValueError("length must be positive")
-        self._insert_free(start, length, coalesce=True)
-        self.free_blocks += length
+        retired = sorted(b for b in self.quarantined
+                         if start <= b < start + length)
+        if retired:
+            cursor = start
+            for block in retired:
+                if block > cursor:
+                    self._insert_free(cursor, block - cursor,
+                                      coalesce=True)
+                cursor = block + 1
+            if start + length > cursor:
+                self._insert_free(cursor, start + length - cursor,
+                                  coalesce=True)
+            self.free_blocks += length - len(retired)
+        else:
+            self._insert_free(start, length, coalesce=True)
+            self.free_blocks += length
         self.frees += 1
         self._contig_fail_hint.clear()
 
@@ -261,3 +323,6 @@ class BlockDevice:
             prev_end = extent.end - 1
             total += extent.length
         assert total == self.free_blocks
+        for block in self.quarantined:
+            assert self.free_overlap(block, 1) == 0, \
+                f"quarantined block {block} returned to the free pool"

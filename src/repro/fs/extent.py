@@ -79,6 +79,36 @@ class ExtentTree:
         self._logical_starts.append(logical)
         return extent
 
+    def replace_block(self, logical_block: int, new_physical: int) -> int:
+        """Point one file block at a replacement device block.
+
+        The media-error remap path: the extent covering the block is
+        split (up to three ways) so the single bad block can be
+        re-pointed without disturbing its neighbours.  Returns the old
+        physical block.  The logical layout stays dense, so huge-page
+        geometry elsewhere in the file is untouched — only the split
+        region loses PMD eligibility, exactly as a remapped extent
+        does on ext4/NOVA.
+        """
+        idx = bisect.bisect_right(self._logical_starts, logical_block) - 1
+        if idx < 0 or logical_block >= self._extents[idx].logical_end:
+            raise InvalidArgumentError(
+                f"replace_block: block {logical_block} is a hole")
+        extent = self._extents[idx]
+        old_physical = extent.physical_for(logical_block)
+        before = logical_block - extent.logical
+        after = extent.logical_end - (logical_block + 1)
+        pieces: List[Extent] = []
+        if before > 0:
+            pieces.append(Extent(extent.logical, extent.physical, before))
+        pieces.append(Extent(logical_block, new_physical, 1))
+        if after > 0:
+            pieces.append(Extent(logical_block + 1,
+                                 extent.physical + before + 1, after))
+        self._extents[idx:idx + 1] = pieces
+        self._logical_starts[idx:idx + 1] = [e.logical for e in pieces]
+        return old_physical
+
     def truncate_to(self, nblocks: int) -> List[Tuple[int, int]]:
         """Shrink the file to ``nblocks``; returns freed (phys, len) runs."""
         freed: List[Tuple[int, int]] = []

@@ -75,6 +75,11 @@ class MemoryModel:
         #: untouched, so performance runs are bit-identical with or
         #: without a domain attached.
         self.persistence = None
+        #: Optional :class:`repro.faults.MediaFaults`; the VM access
+        #: path consults it for poisoned frames (SIGBUS) and it drives
+        #: bandwidth-degradation windows through the interference
+        #: stack.  ``None`` in ordinary performance runs.
+        self.faults = None
 
     # -- NUMA wiring --------------------------------------------------------
     def set_topology(self, topology: "MachineTopology",

@@ -96,6 +96,19 @@ class Counter(enum.Enum):
     CRASH_TXNS_ROLLED_BACK = "crash.txns_rolled_back"
     CRASH_ORPHAN_BLOCKS_RECLAIMED = "crash.orphan_blocks_reclaimed"
 
+    # -- Media-fault injection (faults/) ----------------------------------
+    FAULTS_UE_ARMED = "faults.ue_armed"
+    FAULTS_UE_REMAPPED = "faults.ue_remapped"
+    FAULTS_UE_CLEARED = "faults.ue_cleared"
+    FAULTS_SIGBUS_DELIVERED = "faults.sigbus_delivered"
+    FAULTS_MEMORY_FAILURES = "faults.memory_failures"
+    FAULTS_PTES_UNMAPPED = "faults.ptes_unmapped"
+    FAULTS_BLOCKS_QUARANTINED = "faults.blocks_quarantined"
+    FAULTS_BYTES_LOST = "faults.bytes_lost"
+    FAULTS_BW_WINDOWS = "faults.bw_windows"
+    FAULTS_STALL_EPISODES = "faults.stall_episodes"
+    FAULTS_CLEAR_POISON_CALLS = "faults.clear_poison_calls"
+
     # -- Baselines ---------------------------------------------------------
     LATR_LAZY_INVALIDATIONS = "latr.lazy_invalidations"
 

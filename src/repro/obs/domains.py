@@ -52,6 +52,11 @@ class CostDomain(enum.Enum):
     #: file-table validation/rebuild and orphan-block reclamation.
     #: Charged only by the repro.crash recovery checker.
     CRASH = "crash"
+    #: Media-error handling: MCE/badblock bookkeeping, extent remap,
+    #: ``memory_failure()`` rmap teardown, clear-poison overwrites and
+    #: injected device stalls.  Zero unless a repro.faults plan is
+    #: armed on the machine.
+    FAULTS = "faults"
 
     def __str__(self) -> str:  # pragma: no cover - display aid
         return self.value
@@ -71,4 +76,5 @@ DOMAIN_ORDER = [
     CostDomain.FILETABLE,
     CostDomain.LOCK_WAIT,
     CostDomain.CRASH,
+    CostDomain.FAULTS,
 ]

@@ -59,18 +59,42 @@ class ResultCache:
         self.root = Path(root or DEFAULT_CACHE_DIR)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
-        """Load a stored point state, or None (counts as a miss)."""
+        """Load a stored point state, or None (counts as a miss).
+
+        A present-but-unreadable entry (torn write, disk error, bad
+        JSON) is never silently dropped: it is counted in ``corrupt``,
+        recorded in :data:`TELEMETRY` and moved aside with a
+        ``.corrupt`` suffix for post-mortem, then treated as a miss so
+        the point re-runs.
+        """
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as fh:
                 state = json.load(fh)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (OSError, ValueError) as err:
+            self.corrupt += 1
+            self.misses += 1
+            moved_to = ""
+            try:
+                target = path.with_suffix(".corrupt")
+                os.replace(path, target)
+                moved_to = str(target)
+            except OSError:
+                pass
+            TELEMETRY.append({
+                "point": None, "experiment": None, "hit": False,
+                "corrupt": True, "key": key,
+                "error": f"{type(err).__name__}: {err}",
+                "moved_to": moved_to})
             return None
         self.hits += 1
         return state

@@ -104,6 +104,58 @@ def _crash_point(system: System, *, workload: str, seed: int,
     return summary.to_result()
 
 
+@point_runner("faults")
+def _faults_point(system: System, *, workload: str, seed: int,
+                  max_sites: int, media: str = "optane",
+                  device_gib: int = 1) -> RunResult:
+    """Media-fault sweeps rebuild a machine per armed site (same
+    replica discipline as crash points), so the pool's pre-built
+    ``system`` is unused; the factory mirrors its media and size."""
+    from repro.config import MEDIA_PRESETS
+    from repro.faults import run_faults
+
+    costs_factory = MEDIA_PRESETS[media]
+
+    def factory() -> System:
+        return System(costs=costs_factory(),
+                      device_bytes=device_gib << 30, aged=False)
+
+    summary = run_faults(factory, workload, seed=seed,
+                         max_sites=max_sites)
+    return summary.to_result()
+
+
+@point_runner("selftest")
+def _selftest_point(system: System, *, mode: str,
+                    hang_seconds: float = 3600.0) -> RunResult:
+    """Runner-hardening diagnostics: each mode exercises one failure
+    path of the sweep driver itself (quarantine, watchdog, retry).
+    ``ok`` completes instantly; ``crash`` raises; ``hang`` sleeps past
+    any sane watchdog; ``flaky`` raises a retryable error on attempt 0
+    and succeeds on retries; ``oom``/``deadlock`` raise the simulator's
+    ENOMEM/deadlock errors, exercising those surfaces end to end."""
+    import time as _time
+
+    from repro.errors import DeadlockError, DeviceStallError, MemoryError_
+    from repro.runner import worker as _worker
+
+    if mode == "crash":
+        raise RuntimeError("selftest: injected worker crash")
+    if mode == "hang":
+        _time.sleep(hang_seconds)
+    elif mode == "flaky":
+        if _worker.CURRENT_ATTEMPT == 0:
+            raise DeviceStallError("selftest: transient stall, retry me")
+    elif mode == "oom":
+        raise MemoryError_("selftest: simulated allocation failure")
+    elif mode == "deadlock":
+        raise DeadlockError("selftest: simulated lock cycle")
+    elif mode != "ok":
+        raise ValueError(f"unknown selftest mode {mode!r}")
+    return RunResult(label=f"selftest:{mode}", cycles=1000.0,
+                     operations=1.0)
+
+
 # ---------------------------------------------------------------------------
 # Sweep builders (figure -> list of points).
 # ---------------------------------------------------------------------------
@@ -200,6 +252,45 @@ def _crash_sweep(*, ops: int, size: int, media: str, device_gib: int,
     return Sweep(name="crash",
                  title="Crash recovery audit (points explored)",
                  points=points, axis="seed")
+
+
+@sweep("faults", "media-fault injection + poison-handling audit")
+def _faults_sweep(*, ops: int, size: int, media: str, device_gib: int,
+                  aged: bool) -> Sweep:
+    """Every fault workload at two seeds.  ``ops`` bounds the armed
+    sites per sweep point (each site is a full machine replica).
+    ``aged`` is deliberately ignored: replicas start fresh."""
+    max_sites = max(4, min(ops, 64))
+    points = []
+    for workload in ("syncbench", "kvstore", "readbench"):
+        for seed in (0, 1):
+            points.append(SweepPoint(
+                experiment="faults", series=workload, x=seed,
+                params={"workload": workload, "seed": seed,
+                        "max_sites": max_sites, "media": media,
+                        "device_gib": device_gib},
+                media=media, device_gib=device_gib, aged=False))
+    return Sweep(name="faults",
+                 title="Media-fault handling audit (sites explored)",
+                 points=points, axis="seed")
+
+
+@sweep("selftest", "runner fault-isolation diagnostics (ok/crash/hang)")
+def _selftest_sweep(*, ops: int, size: int, media: str, device_gib: int,
+                    aged: bool) -> Sweep:
+    """One crashing point and one hung point among healthy ones: used
+    by CI to prove a sweep survives both with exactly the bad points
+    quarantined.  ``ops`` sets the healthy-point count."""
+    modes = ["ok"] * max(2, min(ops, 8))
+    modes.insert(1, "crash")
+    modes.append("hang")
+    points = [SweepPoint(experiment="selftest", series=mode, x=i,
+                         params={"mode": mode},
+                         media=media, device_gib=device_gib, aged=False)
+              for i, mode in enumerate(modes)]
+    return Sweep(name="selftest",
+                 title="Runner isolation selftest",
+                 points=points, axis="slot")
 
 
 @sweep("numa", "file placement vs thread count on two sockets")

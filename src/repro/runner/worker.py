@@ -20,6 +20,12 @@ from repro.runner.manifest import SweepPoint, result_state
 from repro.system import System
 from repro.topology import MachineTopology
 
+#: Which delivery attempt of the current point this worker is running
+#: (0 = first try).  Published by the pool's guarded wrapper before
+#: ``run_point``; diagnostic workloads (the ``selftest`` flaky mode)
+#: read it to fail deterministically on early attempts only.
+CURRENT_ATTEMPT = 0
+
 
 def _reset_naming_counters() -> None:
     """Make point output independent of in-process run history.

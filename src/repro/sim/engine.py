@@ -288,6 +288,25 @@ class Engine:
                 f"forever: {blocked}")
         return self.now
 
+    def reap_crashed(self, thread: Optional[SimThread] = None) -> None:
+        """Retire a thread whose generator raised out of :meth:`run`.
+
+        An exception escaping a kernel path (a simulated SIGBUS, say)
+        leaves the raising thread mid-step: still counted as live
+        foreground, so a later :meth:`run` would diagnose a deadlock.
+        Callers that catch the exception and keep using the simulation
+        (the media-fault injector's repair phase) retire the crashed
+        thread here first.  Defaults to the thread that was being
+        stepped when the exception escaped.
+        """
+        thread = thread if thread is not None else self.current
+        if thread is None or thread.state == SimThread.FINISHED:
+            return
+        thread.state = SimThread.FINISHED
+        thread.finished_at = self.now
+        if not thread.daemon:
+            self._live_foreground -= 1
+
     # -- helpers for cross-core interference -------------------------------
     def interrupt_cores(self, core_indices: Iterable[int],
                         cycles: float) -> int:

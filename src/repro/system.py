@@ -110,6 +110,8 @@ class System:
         self._process_count = 0
         #: Attached :class:`repro.crash.PersistenceDomain`, if any.
         self.persistence = None
+        #: Attached :class:`repro.faults.MediaFaults`, if any.
+        self.faults = None
 
     def _make_pools(self) -> "list[SharedBandwidth]":
         """One aggregate PMem bandwidth pool per socket.  The machine
@@ -244,6 +246,17 @@ class System:
         self.fs.persistence = domain
         self.mem.persistence = domain
         self.physmem.persistence = domain
+
+    # -- media-fault injection ----------------------------------------------
+    def attach_faults(self, faults) -> None:
+        """Wire a :class:`repro.faults.MediaFaults` into the layers that
+        touch media: the file system (badblocks scans on read/append)
+        and the memory model (poisoned-frame checks and bandwidth
+        windows on the mapped-access path)."""
+        self.faults = faults
+        self.fs.faults = faults
+        self.mem.faults = faults
+        faults.bind(self)
 
     def seconds(self, cycles: Optional[float] = None) -> float:
         value = self.engine.now if cycles is None else cycles

@@ -36,6 +36,7 @@ from repro.errors import (
     AddressSpaceError,
     InvalidArgumentError,
     NotSupportedError,
+    PoisonedPageError,
 )
 from repro.fs.base import FileSystem
 from repro.fs.vfs import Inode
@@ -211,6 +212,7 @@ class MMStruct:
 
         region_first_page = region * PAGES_PER_PMD
         file_region_page = vma.file_page(region_first_page)
+        faults = self.mem.faults
         can_huge = (
             vaddr_region % PMD_SIZE == 0
             and vaddr_region + PMD_SIZE <= vma.end
@@ -218,7 +220,13 @@ class MMStruct:
             and fs.pmd_capable(vma.inode, file_region_page)
             and not any(p in vma.populated
                         for p in range(region_first_page,
-                                       region_first_page + PAGES_PER_PMD)))
+                                       region_first_page + PAGES_PER_PMD))
+            # A PMD leaf must never cover a poisoned frame — the region
+            # falls back to 4 KB PTEs so the poisoned page alone traps.
+            and not (faults is not None
+                     and faults.poisoned_in(
+                         vma.inode, file_region_page,
+                         file_region_page + PAGES_PER_PMD - 1)))
         lookup = fs.fault_lookup_cost(vma.inode)
         if can_huge:
             frame = fs.frame_for_page(vma.inode, file_region_page)
@@ -231,6 +239,9 @@ class MMStruct:
             raise InvalidArgumentError(
                 f"{vma.inode.path}: fault beyond allocated blocks "
                 f"(file page {file_page})")
+        if faults is not None and faults.poisoned_frame(frame):
+            # Raced arming: the frame went bad after the pre-lock check.
+            self._raise_sigbus(vma.inode, frame, file_page)
         self.page_table.map_page(vma.start + page * PAGE_SIZE, frame, flags)
         vma.populated.add(page)
         self.stats.add(Counter.VM_PTE_FAULTS)
@@ -240,6 +251,14 @@ class MMStruct:
         """One demand fault, fully simulated through the semaphore."""
         yield charge(CostDomain.FAULT, "fault-entry",
                      self.costs.fault_entry)
+        faults = self.mem.faults
+        if faults is not None and vma.inode is not None:
+            # Poison check *before* taking mmap_sem: the common SIGBUS
+            # path must not leave the semaphore held when it raises.
+            file_page = vma.file_page(page)
+            hit = faults.find_poisoned(vma.inode, file_page, file_page)
+            if hit is not None:
+                self._raise_sigbus(vma.inode, hit[0], hit[1])
         yield from self.mmap_sem.acquire_read()
         cost = 0.0
         if not self._page_state(vma, page):
@@ -331,6 +350,11 @@ class MMStruct:
         first_page = offset // PAGE_SIZE
         last_page = (offset + length - 1) // PAGE_SIZE
         npages = last_page - first_page + 1
+
+        # -- media faults (before any translation is touched) -------------
+        if self.mem.faults is not None and vma.inode is not None:
+            yield from self._media_map_check(vma, first_page, last_page,
+                                             write=write)
 
         # -- demand faults ------------------------------------------------
         if vma.fully_populated:
@@ -438,6 +462,84 @@ class MMStruct:
             else:
                 self.stats.add(Counter.NUMA_LOCAL_ACCESSES, num_ops)
                 self.stats.add(Counter.NUMA_LOCAL_BYTES, total_bytes)
+
+    # ------------------------------------------------------------------
+    # Media-fault handling (repro.faults).
+    # ------------------------------------------------------------------
+    def _raise_sigbus(self, inode: Inode, frame: int, file_page: int):
+        """Deliver the simulated SIGBUS for a poisoned mapped page."""
+        faults = self.mem.faults
+        faults.note_sigbus()
+        raise PoisonedPageError(
+            f"{inode.path}: SIGBUS touching poisoned file page "
+            f"{file_page} (frame {frame:#x})",
+            frame=frame, inode=inode.number, path=inode.path,
+            file_page=file_page)
+
+    def _media_map_check(self, vma: VMA, first_page: int, last_page: int,
+                         write: bool):
+        """Advance the fault clock for one mapped-access window.
+
+        A UE arming here models the machine check a real load takes on
+        a dead line: ``memory_failure()`` tears the frame out of every
+        address space, then the access itself gets SIGBUS.  Poison left
+        by earlier touches also SIGBUSes before any data moves.
+        """
+        faults = self.mem.faults
+        inode = vma.inode
+        first_fp = vma.file_page(first_page)
+        last_fp = vma.file_page(last_page)
+        stall, armed = faults.map_touch(
+            "map-write" if write else "map-read", inode, first_fp,
+            last_fp, allow_ue=not vma.fully_populated)
+        if stall:
+            yield charge(CostDomain.FAULTS, "device-stall", stall)
+        if armed is not None:
+            yield from self.memory_failure(inode, armed[1], armed[0])
+        hit = faults.find_poisoned(inode, first_fp, last_fp)
+        if hit is not None:
+            self._raise_sigbus(inode, hit[0], hit[1])
+
+    def memory_failure(self, inode: Inode, file_page: int, frame: int):
+        """The kernel poison handler (``mm/memory-failure.c``).
+
+        Unmaps the poisoned frame from *every* process mapping the
+        file — one shootdown over the union of the owners' cpumasks —
+        so no stale translation can reach the dead line; subsequent
+        touches fault and receive SIGBUS.  A PMD leaf covering the
+        frame is torn down whole: the region's surviving pages fault
+        back in as 4 KB PTEs (the poison check in ``_install_page``
+        keeps the region from going huge again).
+        """
+        ptes = 0
+        flush_cores: Set[int] = set(self.active_cores)
+        for mapping in inode.i_mmap:
+            if mapping.fully_populated:
+                # DaxVM file-table attachment: its translations live in
+                # the shared file table, handled by the FS remap path;
+                # arming (`allow_ue`) never poisons these mappings.
+                continue
+            page = file_page - mapping.file_offset // PAGE_SIZE
+            if not 0 <= page < mapping.num_pages:
+                continue
+            mm = mapping.mm if mapping.mm is not None else self
+            vaddr = mapping.start + page * PAGE_SIZE
+            cleared = mm.page_table.clear_range(vaddr, PAGE_SIZE)
+            if not cleared:
+                continue
+            ptes += cleared
+            mapping.populated.discard(page)
+            mapping.huge_regions.discard(page // PAGES_PER_PMD)
+            if mm is not self:
+                flush_cores |= mm.active_cores
+        faults = self.mem.faults
+        faults.note_memory_failure(ptes)
+        yield charge(CostDomain.FAULTS, "memory-failure",
+                     self.costs.memory_failure_base
+                     + ptes * self.costs.pte_teardown)
+        if ptes:
+            yield from self.shootdowns.flush(
+                self._initiator_core(), flush_cores, ptes)
 
     def _write_track(self, vma: VMA, first_page: int, last_page: int):
         """Take write-protect faults for untracked granules in range."""

@@ -7,10 +7,12 @@ or replayed from the content-addressed cache — and merged sweep-level
 """
 
 import json
+import time
 
 import pytest
 
 from repro.cli import main as cli_main
+from repro.errors import DeadlockError, MemoryError_
 from repro.obs import CostDomain
 from repro.obs.histogram import Histogram
 from repro.obs.ledger import Ledger
@@ -21,7 +23,9 @@ from repro.runner import (
     code_fingerprint,
     run_sweep,
 )
+from repro.runner.cache import TELEMETRY
 from repro.runner.manifest import Sweep
+from repro.runner.worker import run_point
 from repro.sim.stats import Stats
 
 
@@ -116,11 +120,51 @@ def test_cache_roundtrip_is_exact(tmp_path):
 
 
 def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    """A torn entry is counted, moved aside for post-mortem and then
+    treated as a miss — never silently re-read or deleted."""
     cache = ResultCache(tmp_path / "cache")
     key = tiny_sweep().points[0].cache_key(code_fingerprint())
     cache.put(key, {"bogus": True})
-    (tmp_path / "cache" / f"{key}.json").write_text("{not json")
+    entry = tmp_path / "cache" / f"{key}.json"
+    entry.write_text("{not json")  # simulate a truncated/torn write
+    telemetry_before = len(TELEMETRY)
     assert cache.get(key) is None
+    assert cache.corrupt == 1 and cache.misses == 1 and cache.hits == 0
+    assert not entry.exists()
+    moved = tmp_path / "cache" / f"{key}.corrupt"
+    assert moved.read_text() == "{not json"
+    record = TELEMETRY[-1]
+    assert len(TELEMETRY) == telemetry_before + 1
+    assert record["corrupt"] and not record["hit"]
+    assert record["key"] == key and record["moved_to"] == str(moved)
+    # The next put/get cycle works normally again.
+    cache.put(key, {"fine": True})
+    assert cache.get(key) == {"fine": True}
+    assert cache.corrupt == 1 and cache.hits == 1
+
+
+def test_cache_hit_wall_time_is_per_point(tmp_path):
+    """Each cache hit reports the wall time of *its own* load, not the
+    sweep's cumulative elapsed time (the old bug made the Nth hit look
+    N times slower than the first)."""
+
+    class SlowCache(ResultCache):
+        delay = 0.02
+
+        def get(self, key):
+            time.sleep(self.delay)
+            return super().get(key)
+
+    run_sweep(tiny_sweep(), jobs=1, cache=ResultCache(tmp_path / "cache"))
+    telemetry_before = len(TELEMETRY)
+    warm = run_sweep(tiny_sweep(), jobs=1,
+                     cache=SlowCache(tmp_path / "cache"))
+    assert warm.hits == len(warm.points) == 4
+    walls = [pr.wall_seconds for pr in warm.points]
+    # Cumulative accounting would make the last point >= 4 * delay.
+    assert all(SlowCache.delay <= w < 3 * SlowCache.delay for w in walls)
+    hit_records = [r for r in TELEMETRY[telemetry_before:] if r["hit"]]
+    assert [r["wall_seconds"] for r in hit_records] == walls
 
 
 # ---------------------------------------------------------------------------
@@ -146,6 +190,89 @@ def test_sweep_result_series_and_table():
     table = result.table()
     assert len(table.rows) == 4
     assert result.hit_ratio == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Fault isolation: a bad point never takes the sweep down.
+# ---------------------------------------------------------------------------
+def selftest_sweep_of(modes, **extra_params) -> Sweep:
+    """A sweep of selftest points (one diagnostic mode per point)."""
+    points = [SweepPoint(experiment="selftest", series=mode, x=i,
+                         params={"mode": mode, **extra_params},
+                         media="optane", device_gib=1, aged=False)
+              for i, mode in enumerate(modes)]
+    return Sweep(name="selftest", title="selftest", points=points,
+                 axis="slot")
+
+
+def test_worker_crash_is_quarantined_with_partial_results():
+    result = run_sweep(selftest_sweep_of(["ok", "crash", "ok"]), jobs=1)
+    assert [pr.point.series for pr in result.points] == ["ok", "ok"]
+    assert len(result.failed) == 1
+    failure = result.failed[0]
+    assert failure.reason == "error" and failure.attempts == 1
+    assert failure.error_type == "RuntimeError"
+    assert "injected worker crash" in failure.message
+    assert len(result.failed_table().rows) == 1
+
+
+def test_oom_and_deadlock_surface_with_their_types():
+    """ENOMEM and deadlock raised mid-point keep their identity through
+    the quarantine machinery instead of collapsing into a generic
+    failure."""
+    with pytest.raises(MemoryError_):
+        run_point(selftest_sweep_of(["oom"]).points[0].to_payload())
+    with pytest.raises(DeadlockError):
+        run_point(selftest_sweep_of(["deadlock"]).points[0].to_payload())
+    result = run_sweep(selftest_sweep_of(["oom", "ok", "deadlock"]),
+                       jobs=1)
+    assert [pr.point.series for pr in result.points] == ["ok"]
+    assert ([f.error_type for f in result.failed]
+            == ["MemoryError_", "DeadlockError"])
+    assert all(f.reason == "error" for f in result.failed)
+
+
+def test_retryable_error_retries_with_backoff_then_succeeds():
+    sweep = selftest_sweep_of(["flaky", "ok", "flaky"])
+    no_retry = run_sweep(sweep, jobs=1, max_retries=0)
+    assert ([f.error_type for f in no_retry.failed]
+            == ["DeviceStallError", "DeviceStallError"])
+    assert len(no_retry.points) == 1
+    retried = run_sweep(sweep, jobs=1, max_retries=2, retry_seed=7)
+    assert not retried.failed
+    assert [pr.point.series for pr in retried.points] == sweep_series(
+        sweep)
+
+
+def sweep_series(sweep: Sweep):
+    return [p.series for p in sweep.points]
+
+
+def test_hung_point_quarantined_by_watchdog():
+    """With ``point_timeout`` set and ``jobs >= 2``, a hung worker is
+    detected on collection; the sweep still returns every healthy
+    point's result."""
+    sweep = selftest_sweep_of(["ok", "hang", "ok", "ok"],
+                              hang_seconds=60.0)
+    result = run_sweep(sweep, jobs=2, point_timeout=1.5)
+    assert [pr.point.series for pr in result.points] == ["ok", "ok", "ok"]
+    assert len(result.failed) == 1
+    failure = result.failed[0]
+    assert failure.reason == "timeout"
+    assert failure.error_type == "TimeoutError"
+    assert failure.point.series == "hang"
+
+
+def test_parallel_survivors_match_sequential_with_failures():
+    sweep = selftest_sweep_of(["ok", "crash", "ok"])
+    seq = run_sweep(sweep, jobs=1)
+    par = run_sweep(sweep, jobs=2)
+    assert len(seq.points) == len(par.points) == 2
+    for a, b in zip(seq.points, par.points):
+        assert a.point.label == b.point.label
+        assert canon(a) == canon(b)
+    assert ([f.error_type for f in par.failed]
+            == [f.error_type for f in seq.failed])
 
 
 # ---------------------------------------------------------------------------
