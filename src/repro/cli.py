@@ -30,6 +30,7 @@ from repro.runner import (
     build_sweep,
     run_sweep,
 )
+from repro.paging.schemes import SCHEME_NAMES
 from repro.paging.tlb import AccessPattern
 from repro.system import System
 from repro.workloads import (
@@ -76,6 +77,7 @@ def _system(args, **kw) -> System:
     costs = MEDIA_PRESETS[args.media]()
     topology = (MachineTopology.split(costs.machine, args.nodes)
                 if args.nodes > 1 else None)
+    kw.setdefault("scheme", args.scheme)
     return System(costs=costs, device_bytes=args.device << 30,
                   aged=not args.fresh, topology=topology,
                   placement=args.policy, pin_node=args.pin_node, **kw)
@@ -101,6 +103,11 @@ def _run_named_sweep(args, name: str):
     sweep = build_sweep(name, ops=args.ops, size=args.size,
                         media=args.media, device_gib=args.device,
                         aged=not args.fresh)
+    if args.max_points is not None and len(sweep.points) > args.max_points:
+        print(f"sweep: truncating {name} to the first {args.max_points} "
+              f"of {len(sweep.points)} points (--max-points)",
+              file=sys.stderr)
+        sweep.points = sweep.points[:args.max_points]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     return run_sweep(sweep, jobs=args.jobs, cache=cache,
                      point_timeout=args.point_timeout,
@@ -400,6 +407,98 @@ def _perf_numa(args):
           f"{counters['numa.cross_socket_ipi_cycles']:.0f} cycles")
 
 
+@perf_target("mmu", "Table II/III walk + attach costs per translation "
+                    "scheme")
+def _perf_mmu(args):
+    """DaxVM's cost structure under each MMU (repro.paging.schemes).
+
+    First a Table II analogue: average cycles per 4 KB TLB miss for
+    each scheme, by access pattern and file-table medium, plus whether
+    PMem-resident tables would trip the Table III monitor rule.  Then
+    one DaxVM syncbench run per scheme, reporting where the ledger
+    says the attach/detach and walk cycles actually went, and the
+    per-process structure-frame footprint of mapping 2 MB of 4 KB
+    pages.
+    """
+    from repro.mem.physmem import Medium
+    from repro.obs import CostDomain
+    from repro.paging.flags import PageFlags
+    from repro.paging.pagetable import PAGE_SIZE
+    from repro.paging.schemes import make_scheme
+    from repro.paging.walker import PageWalker
+    from repro.workloads import SyncConfig, SyncDiscipline, run_sync
+
+    costs = MEDIA_PRESETS[args.media]()
+    walker = PageWalker(costs)
+    cases = [("seq/DRAM", AccessPattern.SEQUENTIAL, Medium.DRAM),
+             ("rand/DRAM", AccessPattern.RANDOM, Medium.DRAM),
+             ("seq/PMem", AccessPattern.SEQUENTIAL, Medium.PMEM),
+             ("rand/PMem", AccessPattern.RANDOM, Medium.PMEM)]
+    walk_rows = {}
+    bench_rows = {}
+    for name in SCHEME_NAMES:
+        probe = make_scheme(name, System(costs=costs).physmem, costs)
+        # The walk costs a DaxVM mapping on this scheme actually pays:
+        # schemes that copy translations into process-private DRAM
+        # never see the PMem leaf penalty.
+        walks = {label: probe.walk_cost(
+                     walker, pattern, probe.effective_leaf_medium(medium))
+                 for label, pattern, medium in cases}
+        walks["huge"] = probe.huge_walk_cost(walker)
+        # Table III rule, first clause: would persistent tables push
+        # the average walk past the monitor's migration threshold?
+        walks["monitor"] = (walks["rand/PMem"]
+                            > costs.monitor_walk_cycles)
+        base = 0x40000000
+        for i in range(512):
+            probe.map_page(base + i * PAGE_SIZE, 1024 + i,
+                           PageFlags.rw())
+        walks["frames_2mb"] = len(probe.structure_frames())
+        walk_rows[name] = walks
+
+        system = _system(args, scheme=name)
+        cfg = SyncConfig(file_size=max(args.size, 4 << 20),
+                         op_size=1 << 10, ops_per_sync=8,
+                         num_syncs=max(8, min(args.ops, 64)),
+                         discipline=SyncDiscipline.DAXVM_FSYNC)
+        r = run_sync(system, cfg)
+        bench_rows[name] = {
+            "cycles": r.cycles,
+            "attach_cycles": system.ledger.event_total(
+                CostDomain.FILETABLE, "attach"),
+            "detach_cycles": system.ledger.event_total(
+                CostDomain.FILETABLE, "detach"),
+            "walk_cycles": system.stats.get(Counter.VM_WALK_CYCLES),
+            "tlb_misses": system.stats.get(Counter.VM_TLB_MISSES),
+        }
+    if args.json:
+        print(json.dumps({
+            "target": "mmu",
+            "media": args.media,
+            "walks": walk_rows,
+            "syncbench": bench_rows,
+        }, indent=2, sort_keys=True))
+        return
+    table = Table(f"Avg cycles per 4KB walk ({args.media})",
+                  ["scheme"] + [c[0] for c in cases]
+                  + ["huge", "PMem trips monitor", "frames/2MB"])
+    for name, walks in walk_rows.items():
+        table.add_row(name, *(walks[c[0]] for c in cases),
+                      walks["huge"],
+                      "yes" if walks["monitor"] else "no",
+                      walks["frames_2mb"])
+    print(format_table(table))
+    print()
+    bench = Table("DaxVM syncbench (MAP_SYNC fsync discipline)",
+                  ["scheme", "cycles", "attach cyc", "detach cyc",
+                   "walk cyc", "tlb misses"])
+    for name, row in bench_rows.items():
+        bench.add_row(name, row["cycles"], row["attach_cycles"],
+                      row["detach_cycles"], row["walk_cycles"],
+                      row["tlb_misses"])
+    print(format_table(bench))
+
+
 def _sweep_cmd(args) -> int:
     """``python -m repro sweep <name>`` — parallel cached execution."""
     result = _run_named_sweep(args, args.target)
@@ -476,6 +575,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default="ext4")
     parser.add_argument("--media", choices=sorted(MEDIA_PRESETS),
                         default="optane")
+    parser.add_argument("--scheme", choices=SCHEME_NAMES,
+                        default="radix4",
+                        help="translation architecture for experiments "
+                             "that build one machine (sweeps carry the "
+                             "scheme per point instead)")
     parser.add_argument("--nodes", type=int, default=1,
                         help="NUMA sockets (1 = uniform machine)")
     parser.add_argument("--policy", choices=PLACEMENTS, default="local",
@@ -492,7 +596,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="crash/fault sampling seed (also seeds "
                              "sweep retry backoff)")
     parser.add_argument("--max-points", type=int, default=64,
-                        help="crash points to explore (with 'crash')")
+                        help="crash points to explore (with 'crash'); "
+                             "with 'sweep', run only the first N points "
+                             "of the manifest (CI smoke)")
     parser.add_argument("--max-sites", type=int, default=64,
                         help="fault sites to arm (with 'faults')")
     parser.add_argument("--jobs", type=int, default=1,

@@ -198,6 +198,36 @@ class CostModel:
     walk_huge: float = 16.0
 
     # ------------------------------------------------------------------
+    # Alternative translation architectures (repro.paging.schemes).
+    # ``radix4`` uses only the Table II parameters above; the three
+    # alternative MMUs add their own knobs so `sweep mmu` can price
+    # each design honestly and cache keys change when they do.
+    # ------------------------------------------------------------------
+    #: radix5/LA57: expected cost of the 5th (extra upper) walk level
+    #: under sequential access (paging-structure caches absorb most)...
+    walk5_upper_extra_seq: float = 6.0
+    #: ... and under random access over a large footprint.
+    walk5_upper_extra_rand: float = 10.0
+    #: hashed/inverted: hash + tag-compare chain per lookup (the walk
+    #: is the same for sequential and random access — no leaf
+    #: locality in an inverted table).
+    hashed_walk_compute: float = 24.0
+    #: hashed: average probes per lookup at the steady-state load
+    #: factor; each probe reads one bucket line from DRAM.
+    hashed_probe_avg: float = 1.25
+    #: hashed: insert one translation (probe chain + entry write).
+    #: DaxVM attach pays this *per page* — no shareable fragments.
+    hashed_insert: float = 180.0
+    #: range/segment: fixed lookup overhead (segment registers, range
+    #: TLB probe) ...
+    range_walk_base: float = 14.0
+    #: ... plus this per binary-search step over the range table.
+    range_walk_step: float = 9.0
+    #: range: insert one range entry (sorted-table surgery + possible
+    #: neighbour merge).  DaxVM attach pays this per contiguous run.
+    range_insert: float = 420.0
+
+    # ------------------------------------------------------------------
     # File system costs.
     # ------------------------------------------------------------------
     #: Allocate one extent in the block allocator (ext4 mballoc-like).

@@ -263,6 +263,35 @@ class FileTable:
             return ("pte", node)
         return None
 
+    def region_runs(self, region: int) -> List[Tuple[int, int, int]]:
+        """Coalesced ``(page_idx, base_frame, npages)`` runs of a region.
+
+        ``page_idx`` is region-relative.  A huge region is one 512-page
+        run; a 4 KB region yields one run per contiguous extent of
+        frames.  This is the populate-on-attach fallback for
+        translation schemes without shareable fragments: hashed inserts
+        every page of every run, range translation inserts one entry
+        per run — so run count (i.e. image fragmentation from
+        ``fs.aging``) is exactly what those schemes pay for.
+        """
+        entry = self.region_entry(region)
+        if entry is None:
+            return []
+        kind, payload = entry
+        if kind == "huge":
+            return [(0, payload, PAGES_PER_PMD)]
+        runs: List[Tuple[int, int, int]] = []
+        for idx in sorted(payload.entries):
+            frame = payload.entries[idx].frame
+            if runs:
+                last_idx, last_frame, npages = runs[-1]
+                if idx == last_idx + npages and \
+                        frame == last_frame + npages:
+                    runs[-1] = (last_idx, last_frame, npages + 1)
+                    continue
+            runs.append((idx, frame, 1))
+        return runs
+
 
 class FileTableManager:
     """Builds, maintains and migrates file tables for one file system."""

@@ -120,7 +120,7 @@ class DaxVM:
         vma.fs = self.fs
         vma.mm = self.mm
         vma.fully_populated = True
-        vma.leaf_medium = table.medium
+        vma.leaf_medium = self.mm.scheme.effective_leaf_medium(table.medium)
         vma.dirty_granule = granule
         vma.user_addr = start + (offset - lo)
         attach_cost = self._attach(vma, table, granule)
@@ -137,10 +137,17 @@ class DaxVM:
         return vma
 
     def _attach(self, vma: VMA, table, granule: int) -> float:
-        """Splice file-table fragments into the process tree."""
+        """Make the file table visible through the process's MMU.
+
+        Radix schemes splice the shared fragments in (the paper's O(1)
+        attach); schemes without shareable structures populate their
+        own tables here, at whatever per-entry cost their design
+        honestly pays.
+        """
         tracks = vma.tracks_dirty
         base_flags = (PageFlags.ro() if tracks or
                       not vma.prot & Protection.WRITE else PageFlags.rw())
+        scheme = self.mm.scheme
         first_region = vma.file_offset // PMD_SIZE
         num_regions = vma.length // PMD_SIZE
         cost = 0.0
@@ -149,30 +156,23 @@ class DaxVM:
             first_gb = vma.file_offset // PUD_SIZE
             for i, gb in enumerate(range(first_gb,
                                          first_gb + vma.length // PUD_SIZE)):
-                node = table.pmd_nodes.get(gb)
-                if node is None:
-                    continue
                 vaddr = vma.start + i * PUD_SIZE
-                self.mm.page_table.attach_fragment(vaddr, node, base_flags)
-                vma.attachments.append((vaddr, PMD_LEVEL + 1, node))
-                cost += self.costs.pmd_attach
+                gb_cost, attachment = scheme.attach_gb(
+                    vaddr, table, gb, base_flags)
+                if attachment is None:
+                    continue
+                vma.attachments.append(attachment)
+                cost += gb_cost
         else:
             for i in range(num_regions):
                 region = first_region + i
-                entry = table.region_entry(region)
-                if entry is None:
-                    continue
                 vaddr = vma.start + i * PMD_SIZE
-                kind, payload = entry
-                if kind == "huge":
-                    self.mm.page_table.map_page(
-                        vaddr, payload, base_flags | PageFlags.HUGE,
-                        PMD_LEVEL)
-                else:
-                    self.mm.page_table.attach_fragment(
-                        vaddr, payload, base_flags)
-                vma.attachments.append((vaddr, PMD_LEVEL, payload))
-                cost += self.costs.pmd_attach
+                region_cost, attachment = scheme.attach_region(
+                    vaddr, table, region, base_flags)
+                if attachment is None:
+                    continue
+                vma.attachments.append(attachment)
+                cost += region_cost
         # Huge regions drive the TLB model regardless of attach level.
         for region, _frame in table.huge_frames.items():
             if first_region <= region < first_region + num_regions:
@@ -201,9 +201,9 @@ class DaxVM:
         self.stats.add(Counter.DAXVM_MUNMAP_CALLS)
 
     def _sync_unmap(self, vma: VMA):
-        pages = self.mm.page_table.clear_range(vma.start, vma.length)
+        pages = self.mm.scheme.clear_range(vma.start, vma.length)
         yield charge(CostDomain.FILETABLE, "detach",
-                     len(vma.attachments) * self.costs.pmd_attach)
+                     self.mm.scheme.detach_cost(len(vma.attachments)))
         if pages:
             yield from self.mm.shootdowns.flush(
                 self.mm._initiator_core(), self.mm.active_cores, pages)
@@ -241,8 +241,8 @@ class DaxVM:
         flags = (PageFlags.rw() if prot & Protection.WRITE
                  else PageFlags.ro())
         # Permissions live at the attachment level: one entry per slot.
-        for vaddr, _level, payload in vma.attachments:
-            self.mm.page_table.protect_range(vaddr, PMD_SIZE, flags)
+        for vaddr, _level, _payload in vma.attachments:
+            self.mm.scheme.protect_range(vaddr, PMD_SIZE, flags)
         yield charge(CostDomain.FILETABLE, "reprotect-attachments",
                      len(vma.attachments) * self.costs.pmd_attach)
         vma.prot = prot
@@ -298,12 +298,13 @@ class DaxVM:
                 continue
             # clear_range detaches shared fragments and clears huge
             # leaves alike.
-            self.mm.page_table.clear_range(vma.start, vma.length)
+            self.mm.scheme.clear_range(vma.start, vma.length)
             vma.attachments.clear()
             vma.huge_regions.clear()
             granule = PUD_SIZE if vma.length > PUD_SIZE else PMD_SIZE
             swap_cost += self._attach(vma, table, granule)
-            vma.leaf_medium = Medium.DRAM
+            vma.leaf_medium = self.mm.scheme.effective_leaf_medium(
+                Medium.DRAM)
         yield charge(CostDomain.FILETABLE, "table-migration-swap",
                      swap_cost * 2)  # detach walk + attach walk
         yield from self.mm.shootdowns.flush(

@@ -14,11 +14,23 @@ from repro.paging.pagetable import (
     level_shift,
     level_size,
 )
+from repro.paging.schemes import (
+    SCHEME_NAMES,
+    SCHEMES,
+    HashedScheme,
+    Radix4Scheme,
+    Radix5Scheme,
+    RangeScheme,
+    TranslationScheme,
+    make_scheme,
+    restore_scheme,
+)
 from repro.paging.tlb import AccessPattern, ShootdownController, TLBModel
 from repro.paging.walker import PageWalker
 
 __all__ = [
     "AccessPattern",
+    "HashedScheme",
     "Level",
     "PAGE_SHIFT",
     "PGD_LEVEL",
@@ -29,9 +41,17 @@ __all__ = [
     "PageTable",
     "PageTableNode",
     "PageWalker",
+    "Radix4Scheme",
+    "Radix5Scheme",
+    "RangeScheme",
+    "SCHEMES",
+    "SCHEME_NAMES",
     "ShootdownController",
     "TLBModel",
+    "TranslationScheme",
     "Translation",
     "level_shift",
     "level_size",
+    "make_scheme",
+    "restore_scheme",
 ]

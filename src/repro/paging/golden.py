@@ -1,0 +1,93 @@
+"""Pinned mini-sweeps for the MMU-equivalence gate.
+
+The translation-scheme refactor moved the 4-level radix walk behind
+the :class:`~repro.paging.schemes.TranslationScheme` interface.  The
+``radix4`` scheme must be the pre-refactor simulator *bit for bit*:
+every fault, attach, walk and teardown charges exactly the cycles it
+charged when ``MMStruct`` called :class:`~repro.paging.pagetable.
+PageTable` directly.  This module pins that promise the honest way —
+the golden file was captured from the tree **before** the scheme
+interface landed, and ``tests/test_mmu_golden.py`` replays the same
+points (both with the default scheme and with ``scheme="radix4"``
+spelled out) and byte-compares the results.
+
+``python -m repro.paging.golden`` recaptures the file; do that only
+when a PR intentionally changes simulated costs, and say so in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+GOLDEN_PATH = (Path(__file__).resolve().parents[3]
+               / "tests" / "golden" / "mmu_equivalence.json")
+
+#: (sweep name, builder knobs, point filter) — small enough for CI,
+#: wide enough to cross every path the scheme interface now sits on:
+#: demand faults, DaxVM file-table attach/detach, TLB walk charging,
+#: fork/teardown, on clean and aged images.
+PINNED = (
+    ("scaling", {"ops": 8, "size": 64 << 10, "media": "optane",
+                 "device_gib": 1, "aged": False}, (1, 2)),
+    ("scaling", {"ops": 6, "size": 64 << 10, "media": "optane",
+                 "device_gib": 1, "aged": True}, (2,)),
+    ("apache", {"ops": 12, "size": 64 << 10, "media": "optane",
+                "device_gib": 1, "aged": True}, (1, 4)),
+)
+
+
+def golden_states(scheme: Optional[str] = None
+                  ) -> Dict[str, Dict[str, object]]:
+    """Run every pinned point on a fresh machine.
+
+    ``scheme=None`` builds each :class:`~repro.system.System` exactly
+    as the pre-refactor code did (default construction); a scheme name
+    passes it explicitly, which the gate test uses to prove that
+    ``scheme="radix4"`` and the default are the same machine.
+    """
+    from repro.config import MEDIA_PRESETS
+    from repro.runner.manifest import result_state
+    from repro.runner.sweeps import POINT_RUNNERS, build_sweep
+    from repro.runner.worker import _reset_naming_counters
+    from repro.system import System
+
+    out: Dict[str, Dict[str, object]] = {}
+    for name, knobs, xs in PINNED:
+        sweep = build_sweep(name, **knobs)
+        key = f"{name}-aged" if knobs["aged"] else name
+        states: Dict[str, object] = out.setdefault(key, {})
+        for point in sweep.points:
+            if point.x not in xs:
+                continue
+            # Mirrors repro.runner.worker.run_point for 1-node points.
+            _reset_naming_counters()
+            costs = MEDIA_PRESETS[point.media]()
+            kw = {} if scheme is None else {"scheme": scheme}
+            system = System(costs=costs,
+                            device_bytes=point.device_gib << 30,
+                            aged=point.aged, **kw)
+            run = POINT_RUNNERS[point.experiment](system, **point.params)
+            locks = [lock.report() for lock in system.engine.locks
+                     if lock.acquisitions]
+            state = result_state(run, system.stats, system.ledger,
+                                 locks, 0.0)
+            states[point.label] = {k: v for k, v in state.items()
+                                   if k != "wall_seconds"}
+    return out
+
+
+def golden_json(scheme: Optional[str] = None) -> str:
+    return json.dumps(golden_states(scheme), indent=2,
+                      sort_keys=True) + "\n"
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(golden_json())
+    print(f"captured {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -49,10 +49,18 @@ class PageWalker:
         return upper + miss * leaf * leaf_factor
 
     def walk_cost_for(self, translation: Translation,
-                      pattern: AccessPattern) -> float:
-        """Walk cost using the media actually recorded by a tree walk."""
+                      pattern: AccessPattern,
+                      leaf_factor: float = 1.0) -> float:
+        """Walk cost using the media actually recorded by a tree walk.
+
+        ``leaf_factor`` carries the same NUMA leaf multiplier as
+        :meth:`walk_cost`; it used to be dropped here, so costs derived
+        from an actual tree walk never charged the remote-leaf penalty
+        that ``walk_cost`` callers pay.
+        """
         leaf_medium = translation.level_media[-1]
-        return self.walk_cost(pattern, leaf_medium, translation.leaf_level)
+        return self.walk_cost(pattern, leaf_medium, translation.leaf_level,
+                              leaf_factor=leaf_factor)
 
     def mmu_overhead(self, misses: float, walk_cost: float,
                      total_cycles: float) -> float:

@@ -53,6 +53,9 @@ class SweepPoint:
     placement: str = "local"
     #: Socket the placement is defined against.
     pin_node: int = 0
+    #: Translation architecture (see :data:`repro.paging.schemes.
+    #: SCHEMES`); part of the payload, hence of the cache key.
+    scheme: str = "radix4"
 
     @property
     def label(self) -> str:
@@ -76,6 +79,7 @@ class SweepPoint:
             "num_nodes": self.num_nodes,
             "placement": self.placement,
             "pin_node": self.pin_node,
+            "scheme": self.scheme,
         }
 
     @classmethod

@@ -21,9 +21,15 @@ from repro.workloads import (
     DaxVMOptions,
     EphemeralConfig,
     Interface,
+    KVConfig,
     ServerInterface,
+    SyncConfig,
+    SyncDiscipline,
+    YCSBConfig,
     run_apache,
     run_ephemeral,
+    run_sync,
+    run_ycsb,
 )
 
 PointRunner = Callable[..., RunResult]
@@ -123,6 +129,34 @@ def _faults_point(system: System, *, workload: str, seed: int,
     summary = run_faults(factory, workload, seed=seed,
                          max_sites=max_sites)
     return summary.to_result()
+
+
+@point_runner("syncbench")
+def _syncbench_point(system: System, *, file_size: int, op_size: int,
+                     ops_per_sync: int, num_syncs: int,
+                     discipline: str) -> RunResult:
+    cfg = SyncConfig(file_size=file_size, op_size=op_size,
+                     ops_per_sync=ops_per_sync, num_syncs=num_syncs,
+                     discipline=SyncDiscipline(discipline))
+    return run_sync(system, cfg)
+
+
+@point_runner("kvstore")
+def _kvstore_point(system: System, *, workload: str, num_ops: int,
+                   preload_records: int, interface: str,
+                   record_size: int = 4096,
+                   memtable_limit: int = 8 << 20,
+                   sstable_size: int = 8 << 20,
+                   wal_size: int = 8 << 20,
+                   daxvm: Optional[dict] = None) -> RunResult:
+    kv = KVConfig(record_size=record_size,
+                  memtable_limit=memtable_limit,
+                  sstable_size=sstable_size, wal_size=wal_size,
+                  interface=Interface(interface),
+                  daxvm=_daxvm_options(daxvm))
+    cfg = YCSBConfig(workload=workload, num_ops=num_ops,
+                     preload_records=preload_records, kv=kv)
+    return run_ycsb(system, cfg)
 
 
 @point_runner("selftest")
@@ -291,6 +325,57 @@ def _selftest_sweep(*, ops: int, size: int, media: str, device_gib: int,
     return Sweep(name="selftest",
                  title="Runner isolation selftest",
                  points=points, axis="slot")
+
+
+@sweep("mmu", "four translation schemes x workload x clean/aged image")
+def _mmu_sweep(*, ops: int, size: int, media: str, device_gib: int,
+               aged: bool) -> Sweep:
+    """DaxVM under four MMUs (see repro.paging.schemes).
+
+    Two attach-heavy workloads — syncbench (one long-lived DaxVM
+    mapping, walk-dominated) and the kvstore (small WAL/SSTable files
+    rolled constantly, attach-dominated) — each on a clean and an aged
+    image (x = 0/1), under every translation scheme.  The ``aged`` CLI
+    knob is deliberately ignored: the clean/aged contrast *is* the
+    experiment for the range scheme.  ``ops`` scales sync rounds and
+    KV operations; ``size`` scales the syncbench file (floored at 4 MB
+    so its file table goes persistent and walks pay PMem leaves).
+    """
+    from repro.paging.schemes import SCHEME_NAMES
+
+    num_syncs = max(8, min(ops, 64))
+    kv_ops = max(160, min(ops * 20, 3200))
+    points = []
+    for scheme in SCHEME_NAMES:
+        for aged_image in (False, True):
+            x = float(aged_image)
+            points.append(SweepPoint(
+                experiment="syncbench", series=f"syncbench+{scheme}",
+                x=x,
+                params={"file_size": max(size, 4 << 20),
+                        "op_size": 1 << 10, "ops_per_sync": 16,
+                        "num_syncs": num_syncs,
+                        "discipline": "daxvm+fsync"},
+                media=media, device_gib=device_gib, aged=aged_image,
+                scheme=scheme))
+            points.append(SweepPoint(
+                experiment="kvstore", series=f"kvstore+{scheme}",
+                x=x,
+                params={"workload": "load_a", "num_ops": kv_ops,
+                        "preload_records": 0,
+                        "interface": Interface.DAXVM.value,
+                        "record_size": 4096,
+                        "memtable_limit": 1 << 20,
+                        "sstable_size": 1 << 20, "wal_size": 1 << 20,
+                        "daxvm": {"ephemeral": False,
+                                  "unmap_async": False,
+                                  "sync": True, "nosync": False}},
+                media=media, device_gib=device_gib, aged=aged_image,
+                scheme=scheme))
+    return Sweep(name="mmu",
+                 title="DaxVM across translation architectures "
+                       "(cycles/op)",
+                 points=points, axis="aged")
 
 
 @sweep("numa", "file placement vs thread count on two sockets")

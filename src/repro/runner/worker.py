@@ -65,7 +65,8 @@ def run_point(payload: Dict[str, object]) -> Dict[str, object]:
                 if point.num_nodes > 1 else None)
     system = System(costs=costs, device_bytes=point.device_gib << 30,
                     aged=point.aged, topology=topology,
-                    placement=point.placement, pin_node=point.pin_node)
+                    placement=point.placement, pin_node=point.pin_node,
+                    scheme=point.scheme)
     started = time.perf_counter()
     run = runner(system, **point.params)
     wall = time.perf_counter() - started

@@ -72,8 +72,13 @@ class System:
                  aging_profile: AgingProfile = AgingProfile(),
                  topology: Optional[MachineTopology] = None,
                  placement: str = "local",
-                 pin_node: int = 0):
+                 pin_node: int = 0,
+                 scheme: str = "radix4"):
         self.costs = costs
+        #: Translation architecture for every process on this machine
+        #: (see repro.paging.schemes); ``radix4`` is the pre-refactor
+        #: x86-64 radix simulator, bit for bit.
+        self.scheme = scheme
         if topology is None:
             topology = MachineTopology.single_node(costs.machine)
         self.topology = topology
@@ -148,7 +153,8 @@ class System:
         pname = name or f"proc{self._process_count}"
         mm = MMStruct(self.engine, self.costs, self.physmem, self.mem,
                       self.stats, aslr_seed=aslr_seed, name=pname,
-                      topology=self.topology, home_node=home_node)
+                      topology=self.topology, home_node=home_node,
+                      scheme=self.scheme)
         return Process(self, mm, pname)
 
     @property

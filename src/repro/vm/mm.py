@@ -42,8 +42,9 @@ from repro.fs.base import FileSystem
 from repro.fs.vfs import Inode
 from repro.mem.latency import MemoryModel
 from repro.mem.physmem import Medium, PhysicalMemory
-from repro.paging.pagetable import PMD_LEVEL, PageTable
+from repro.paging.pagetable import PMD_LEVEL
 from repro.paging.flags import PageFlags
+from repro.paging.schemes import make_scheme
 from repro.obs import Counter, CostDomain, charge
 from repro.paging.tlb import AccessPattern, ShootdownController, TLBModel
 from repro.paging.walker import PageWalker
@@ -67,7 +68,8 @@ class MMStruct:
     def __init__(self, engine: Engine, costs: CostModel,
                  physmem: PhysicalMemory, mem: MemoryModel, stats: Stats,
                  aslr_seed: int = 0, name: str = "mm",
-                 topology=None, home_node: int = 0):
+                 topology=None, home_node: int = 0,
+                 scheme: str = "radix4"):
         self.engine = engine
         self.costs = costs
         self.physmem = physmem
@@ -79,7 +81,11 @@ class MMStruct:
         #: there, and it is the fallback accessor node.
         self.topology = topology
         self.home_node = home_node
-        self.page_table = PageTable(physmem, Medium.DRAM, node=home_node)
+        #: The process's translation architecture.  ``radix4`` *is* the
+        #: pre-refactor ``PageTable`` (same allocation order, same
+        #: costs); the alternative MMUs plug in behind the same hooks.
+        self.scheme = make_scheme(scheme, physmem, costs, Medium.DRAM,
+                                  node=home_node)
         self.mmap_sem = RWSemaphore(engine, costs, f"{name}.mmap_sem")
         self.vmas = RBTree()
         self.layout = AddressSpaceLayout(aslr_seed)
@@ -90,6 +96,16 @@ class MMStruct:
                                               topology=topology)
         #: Cores currently running this process's threads (cpumask).
         self.active_cores: Set[int] = set()
+
+    @property
+    def page_table(self):
+        """Back-compat alias: the scheme *is* the translation structure.
+
+        Under ``radix4``/``radix5`` this is a real
+        :class:`~repro.paging.pagetable.PageTable`; the other schemes
+        expose the same mapping primitives.
+        """
+        return self.scheme
 
     # ------------------------------------------------------------------
     # Thread registration (cpumask maintenance).
@@ -168,9 +184,9 @@ class MMStruct:
 
     def _teardown_locked(self, vma: VMA, flush: bool = True):
         """Clear translations, flush TLBs, drop the VMA (sem held)."""
-        pages = self.page_table.clear_range(vma.start, vma.length)
+        pages = self.scheme.clear_range(vma.start, vma.length)
         teardown = pages * self.costs.pte_teardown
-        teardown += len(vma.attachments) * self.costs.pmd_attach
+        teardown += self.scheme.detach_cost(len(vma.attachments))
         yield charge(CostDomain.SYSCALL, "pte-teardown",
                      teardown + self.costs.vma_free)
         if flush and pages + len(vma.attachments) > 0:
@@ -230,7 +246,7 @@ class MMStruct:
         lookup = fs.fault_lookup_cost(vma.inode)
         if can_huge:
             frame = fs.frame_for_page(vma.inode, file_region_page)
-            self.page_table.map_page(vaddr_region, frame, flags, PMD_LEVEL)
+            self.scheme.map_page(vaddr_region, frame, flags, PMD_LEVEL)
             vma.huge_regions.add(region)
             self.stats.add(Counter.VM_HUGE_FAULTS)
             return self.costs.fault_dax_pmd + lookup, True
@@ -242,7 +258,7 @@ class MMStruct:
         if faults is not None and faults.poisoned_frame(frame):
             # Raced arming: the frame went bad after the pre-lock check.
             self._raise_sigbus(vma.inode, frame, file_page)
-        self.page_table.map_page(vma.start + page * PAGE_SIZE, frame, flags)
+        self.scheme.map_page(vma.start + page * PAGE_SIZE, frame, flags)
         vma.populated.add(page)
         self.stats.add(Counter.VM_PTE_FAULTS)
         return self.costs.fault_dax_pte + lookup, False
@@ -524,7 +540,7 @@ class MMStruct:
                 continue
             mm = mapping.mm if mapping.mm is not None else self
             vaddr = mapping.start + page * PAGE_SIZE
-            cleared = mm.page_table.clear_range(vaddr, PAGE_SIZE)
+            cleared = mm.scheme.clear_range(vaddr, PAGE_SIZE)
             if not cleared:
                 continue
             ptes += cleared
@@ -615,9 +631,10 @@ class MMStruct:
             misses_huge = (self.tlb.random_op_misses(
                 int(num_ops * huge_fraction) or 0, op_bytes, PMD_SIZE, hfoot)
                 if huge_fraction else 0)
-        walk_small = self.walker.walk_cost(pattern, leaf_medium,
+        walk_small = self.scheme.walk_cost(self.walker, pattern, leaf_medium,
                                            leaf_factor=leaf_factor)
-        cost = misses_small * walk_small + misses_huge * self.costs.walk_huge
+        cost = (misses_small * walk_small
+                + misses_huge * self.scheme.huge_walk_cost(self.walker))
         self.stats.add(Counter.VM_TLB_MISSES, misses_small + misses_huge)
         self.stats.add(Counter.VM_WALK_CYCLES, cost)
         return cost
@@ -697,7 +714,7 @@ class MMStruct:
         npages = -(-length // PAGE_SIZE)
         flags = (PageFlags.rw() if prot & Protection.WRITE
                  else PageFlags.ro())
-        changed = self.page_table.protect_range(
+        changed = self.scheme.protect_range(
             vma.start + first * PAGE_SIZE, npages * PAGE_SIZE, flags)
         yield charge(CostDomain.SYSCALL, "mprotect-ptes",
                      changed * self.costs.pte_teardown
@@ -741,14 +758,14 @@ class MMStruct:
             fs: FileSystem = vma.fs
             for page in vma.populated:
                 frame = fs.frame_for_page(vma.inode, vma.file_page(page))
-                child.page_table.map_page(
+                child.scheme.map_page(
                     vma.start + page * PAGE_SIZE, frame, PageFlags.ro())
                 clone.populated.add(page)
                 copy_cost += self.costs.pte_teardown
             for region in vma.huge_regions:
                 frame = fs.frame_for_page(
                     vma.inode, vma.file_page(region * PAGES_PER_PMD))
-                child.page_table.map_page(
+                child.scheme.map_page(
                     vma.start + region * PMD_SIZE, frame,
                     PageFlags.ro(), PMD_LEVEL)
                 clone.huge_regions.add(region)
@@ -770,7 +787,7 @@ class MMStruct:
         yield charge(CostDomain.SYSCALL, "vma-alloc", self.costs.vma_alloc)
         if new_length < vma.length:
             drop_start = vma.start + new_length
-            pages = self.page_table.clear_range(
+            pages = self.scheme.clear_range(
                 drop_start, vma.length - new_length)
             yield charge(CostDomain.SYSCALL, "pte-teardown",
                          pages * self.costs.pte_teardown)

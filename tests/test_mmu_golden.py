@@ -1,0 +1,53 @@
+"""The radix4 bit-identicality gate of the scheme refactor.
+
+DESIGN.md §11 promises that moving the 4-level radix behind the
+:class:`~repro.paging.schemes.TranslationScheme` interface changed no
+simulated number: the ``radix4`` scheme *is* the pre-refactor paging
+code.  The golden file was captured on the commit before the interface
+landed; this test replays the same pinned points twice — once with the
+default ``System`` construction and once with ``scheme="radix4"``
+spelled out — and compares the complete observable state (cycles,
+counters, ledger attribution, lock reports) byte for byte.
+
+If this fails, the scheme indirection leaked a cost or reordered a
+frame allocation.  Recapture (``python -m repro.paging.golden``) only
+when a PR intentionally changes simulated numbers, and say so in the
+PR.
+"""
+
+import json
+
+import pytest
+
+from repro.paging.golden import GOLDEN_PATH, golden_json
+
+
+def _compare(current: str, golden: str) -> None:
+    if current != golden:  # pragma: no cover - failure diagnostics
+        cur, ref = json.loads(current), json.loads(golden)
+        assert sorted(cur) == sorted(ref)
+        for name in ref:
+            assert sorted(cur[name]) == sorted(ref[name])
+            for label in ref[name]:
+                for field in ("run", "stats", "ledger", "locks"):
+                    assert cur[name][label][field] \
+                        == ref[name][label][field], (
+                            f"{name}/{label}.{field} drifted from the "
+                            f"pre-refactor golden run")
+    assert current == golden
+
+
+@pytest.fixture(scope="module")
+def golden_text() -> str:
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; capture it on a known-good commit with "
+        "`python -m repro.paging.golden`")
+    return GOLDEN_PATH.read_text()
+
+
+def test_default_scheme_reproduces_pre_refactor_numbers(golden_text):
+    _compare(golden_json(), golden_text)
+
+
+def test_explicit_radix4_is_the_default_machine(golden_text):
+    _compare(golden_json("radix4"), golden_text)
