@@ -25,7 +25,7 @@ from repro.system import System
 
 #: Per-bench instrumentation records (one JSON list for the whole
 #: session), written next to the repo root.
-BENCH_LOG = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+BENCH_LOG = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
 _records: list = []
 
 
@@ -48,12 +48,22 @@ def _print_spacer():
     yield
 
 
+@pytest.fixture
+def bench_extra():
+    """Dict a bench fills with extra fields for its BENCH log record.
+
+    Whatever the test puts here (speedup ratios, profile tables, ...)
+    is merged verbatim into its entry in ``BENCH_LOG``.
+    """
+    return {}
+
+
 def pytest_configure(config):
     _records.clear()
 
 
 @pytest.fixture(autouse=True)
-def _bench_recorder(request):
+def _bench_recorder(request, bench_extra):
     """Record each bench's simulated work to ``BENCH_PR2.json``.
 
     Every ``System`` built during the test is tracked; afterwards their
@@ -99,5 +109,6 @@ def _bench_recorder(request):
         record["sweep_points"] = sweep_points
         record["cache_hits"] = hits
         record["cache_misses"] = len(sweep_points) - hits
+    record.update(bench_extra)
     _records.append(record)
     BENCH_LOG.write_text(json.dumps(_records, indent=2) + "\n")

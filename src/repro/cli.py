@@ -112,7 +112,8 @@ def _run_named_sweep(args, name: str):
     return run_sweep(sweep, jobs=args.jobs, cache=cache,
                      point_timeout=args.point_timeout,
                      max_retries=args.max_retries,
-                     retry_seed=args.seed)
+                     retry_seed=args.seed,
+                     profile=getattr(args, "profile", False))
 
 
 @experiment("scaling", "read-once throughput vs thread count (fig 1b)")
@@ -499,6 +500,34 @@ def _perf_mmu(args):
     print(format_table(bench))
 
 
+def _profile_table(result) -> Table:
+    """Merge per-point cProfile tables into one sweep-wide top-N.
+
+    Rows are summed by function across every profiled point, so the
+    table answers "where did the whole sweep spend its time", not
+    "where did one point".
+    """
+    from repro.runner.worker import PROFILE_TOP
+
+    merged = {}
+    for pr in result.points:
+        for row in pr.state.get("profile", ()):
+            bucket = merged.setdefault(
+                row["function"], {"ncalls": 0, "tottime": 0.0,
+                                  "cumtime": 0.0})
+            bucket["ncalls"] += row["ncalls"]
+            bucket["tottime"] += row["tottime"]
+            bucket["cumtime"] += row["cumtime"]
+    table = Table("Profile — top functions by own time (all points)",
+                  ["function", "ncalls", "tottime s", "cumtime s"])
+    ranked = sorted(merged.items(), key=lambda kv: -kv[1]["tottime"])
+    for function, bucket in ranked[:PROFILE_TOP]:
+        table.add_row(function, bucket["ncalls"],
+                      round(bucket["tottime"], 4),
+                      round(bucket["cumtime"], 4))
+    return table
+
+
 def _sweep_cmd(args) -> int:
     """``python -m repro sweep <name>`` — parallel cached execution."""
     result = _run_named_sweep(args, args.target)
@@ -512,6 +541,9 @@ def _sweep_cmd(args) -> int:
         print(format_table(result.failed_table()))
         print(f"sweep: {len(result.failed)} point(s) quarantined, "
               f"{len(result.points)} completed", file=sys.stderr)
+    if args.profile:
+        print()
+        print(format_table(_profile_table(result)))
     if args.expect_failed is not None:
         if len(result.failed) != args.expect_failed:
             print(f"sweep: expected exactly {args.expect_failed} "
@@ -622,6 +654,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="after a sweep, replay it from cache and "
                              "fail unless every point round-trips "
                              "identically")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile every sweep point and print a "
+                             "merged top-functions table (bypasses the "
+                             "result cache; simulated numbers are "
+                             "unchanged, walls include profiler "
+                             "overhead)")
     return parser
 
 

@@ -437,6 +437,12 @@ class FileSystem:
         stall = faults.block_touch("write" if write else "read", inode,
                                    [phys for _lb, phys in touched])
         if stall:
+            # The stall freezes the whole device: every other live
+            # thread's core absorbs the window as stolen cycles,
+            # attributed to the stall (not the shootdown bucket).
+            if self.engine is not None:
+                self.engine.broadcast_interrupt(
+                    stall, CostDomain.FAULTS, "stall-stolen")
             yield charge(CostDomain.FAULTS, "device-stall", stall)
         if not self.device.badblocks:
             return

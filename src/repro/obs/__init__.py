@@ -17,7 +17,7 @@ This package never imports ``repro.sim`` (the engine imports *us*), so
 it stays dependency-free and importable from anywhere in the kernel.
 """
 
-from repro.obs.charge import Charge, charge
+from repro.obs.charge import Charge, ChargeSpan, charge, charge_span
 from repro.obs.counters import Counter, counter_key
 from repro.obs.domains import DOMAIN_ORDER, CostDomain
 from repro.obs.histogram import Histogram
@@ -27,6 +27,8 @@ from repro.obs.trace import Tracer
 __all__ = [
     "Charge",
     "charge",
+    "ChargeSpan",
+    "charge_span",
     "Counter",
     "counter_key",
     "CostDomain",

@@ -115,7 +115,16 @@ class Counter(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - display aid
         return self.value
 
+    # Members are singletons; identity hashing skips Enum.__hash__'s
+    # Python-level indirection on every Stats.add.
+    __hash__ = object.__hash__
+
+
+#: Member → string key, precomputed: ``Counter.X.value`` goes through
+#: enum's DynamicClassAttribute descriptor, too slow for Stats.add.
+_COUNTER_KEYS = {member: member.value for member in Counter}
+
 
 def counter_key(name: object) -> str:
     """Normalize a Counter member or raw string to the string key."""
-    return getattr(name, "value", name)  # type: ignore[return-value]
+    return _COUNTER_KEYS.get(name, name)  # type: ignore[arg-type,return-value]

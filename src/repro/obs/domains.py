@@ -61,6 +61,11 @@ class CostDomain(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - display aid
         return self.value
 
+    # Members are singletons, so identity hashing is exact — and it
+    # skips Enum.__hash__'s Python-level indirection, which shows up
+    # hard in profiles (every ledger record hashes its domain thrice).
+    __hash__ = object.__hash__
+
 
 #: Stable presentation order for breakdown reports.
 DOMAIN_ORDER = [

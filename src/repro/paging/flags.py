@@ -28,11 +28,11 @@ class PageFlags(enum.Flag):
 
     @staticmethod
     def rw() -> "PageFlags":
-        return PageFlags.PRESENT | PageFlags.WRITE | PageFlags.USER
+        return _RW
 
     @staticmethod
     def ro() -> "PageFlags":
-        return PageFlags.PRESENT | PageFlags.USER
+        return _RO
 
     def combine(self, other: "PageFlags") -> "PageFlags":
         """Effective rights across two walk levels (minimum rights).
@@ -47,8 +47,16 @@ class PageFlags(enum.Flag):
 
     @property
     def writable(self) -> bool:
-        return bool(self & PageFlags.WRITE) and bool(self & PageFlags.PRESENT)
+        # PRESENT|WRITE == 0b11; raw-int test skips two Flag.__and__
+        # round-trips on the fault hot path.
+        return self._value_ & 0b11 == 0b11
 
     @property
     def present(self) -> bool:
-        return bool(self & PageFlags.PRESENT)
+        return bool(self._value_ & 0b1)
+
+
+#: The two permission combos every mapping uses, built once — Flag
+#: composition is Python-level work the fault path shouldn't repeat.
+_RW = PageFlags.PRESENT | PageFlags.WRITE | PageFlags.USER
+_RO = PageFlags.PRESENT | PageFlags.USER

@@ -134,6 +134,14 @@ class PageTable:
         self.policy = policy
         self.root = self._new_node(root_level)
         self.nodes_allocated = 1
+        # Last PTE-level node a 4 KB map landed in, keyed by the
+        # address bits above the node (its 2 MB "tag").  Sequential
+        # fault streams install hundreds of PTEs into one node; the
+        # cache skips the interior walk for every repeat.  Anything
+        # that can detach a subtree (prune/free, shared-fragment
+        # detach, a huge leaf overwriting an interior slot) resets it.
+        self._leaf_cache_tag = -1
+        self._leaf_cache_node: Optional[PageTableNode] = None
 
     # -- node lifecycle -----------------------------------------------------
     def _new_node(self, level: Level) -> PageTableNode:
@@ -142,6 +150,9 @@ class PageTable:
         return PageTableNode(level, frame, self.medium, shared=self.shared)
 
     def _free_node(self, node: PageTableNode) -> None:
+        if node is self._leaf_cache_node:
+            self._leaf_cache_tag = -1
+            self._leaf_cache_node = None
         self.physmem.free_frame(node.frame)
         self.nodes_allocated -= 1
 
@@ -156,14 +167,27 @@ class PageTable:
         if vaddr % level_size(leaf_level):
             raise AddressSpaceError(
                 f"vaddr {vaddr:#x} unaligned for level {leaf_level}")
-        if leaf_level > PTE_LEVEL:
+        if leaf_level == PTE_LEVEL:
+            if vaddr >> (PAGE_SHIFT + 9) == self._leaf_cache_tag:
+                idx = (vaddr >> PAGE_SHIFT) & (ENTRIES_PER_NODE - 1)
+                self._leaf_cache_node.entries[idx] = Entry(frame=frame,
+                                                           flags=flags)
+                return 0
+        else:
             flags |= PageFlags.HUGE
+            # The huge leaf overwrites an interior slot: any PTE node
+            # beneath it is orphaned, so the cache cannot be trusted.
+            self._leaf_cache_tag = -1
+            self._leaf_cache_node = None
         node = self.root
         created = 0
+        rw = PageFlags.rw()
+        # level_index/level_size inlined: this walk runs once per fault.
         while node.level > leaf_level:
-            idx = level_index(vaddr, node.level)
+            idx = (vaddr >> (PAGE_SHIFT + 9 * node.level)) \
+                & (ENTRIES_PER_NODE - 1)
             entry = node.entries.get(idx)
-            if entry is None or entry.is_leaf:
+            if entry is None or entry.child is None:
                 if entry is not None:
                     raise AddressSpaceError(
                         f"hugepage already maps {vaddr:#x}")
@@ -171,12 +195,16 @@ class PageTable:
                 self.nodes_allocated += 1
                 created += 1
                 node.entries[idx] = Entry(frame=child.frame,
-                                          flags=PageFlags.rw(), child=child)
+                                          flags=rw, child=child)
                 node = child
             else:
                 node = entry.child
-        idx = level_index(vaddr, node.level)
+        idx = (vaddr >> (PAGE_SHIFT + 9 * node.level)) \
+            & (ENTRIES_PER_NODE - 1)
         node.entries[idx] = Entry(frame=frame, flags=flags)
+        if leaf_level == PTE_LEVEL:
+            self._leaf_cache_tag = vaddr >> (PAGE_SHIFT + 9)
+            self._leaf_cache_node = node
         return created
 
     def unmap_page(self, vaddr: int, leaf_level: Level = PTE_LEVEL) -> bool:
@@ -209,7 +237,7 @@ class PageTable:
         """Free interior nodes that became empty, bottom-up."""
         for node, idx in reversed(path):
             entry = node.entries.get(idx)
-            if entry is None or entry.is_leaf:
+            if entry is None or entry.child is None:
                 continue
             child = entry.child
             if child.population == 0 and not child.shared:
@@ -334,6 +362,11 @@ class PageTable:
         Shared (file-table) subtrees encountered inside the range are
         detached whole rather than cleared entry by entry.
         """
+        # A shared-fragment detach leaves the cached node owned by the
+        # file table but unreachable from this tree — drop the cache
+        # wholesale rather than tracking which subtree went away.
+        self._leaf_cache_tag = -1
+        self._leaf_cache_node = None
         pages = 0
         addr = vaddr
         end = vaddr + size
@@ -341,27 +374,54 @@ class PageTable:
             node = self.root
             parent_chain: List[Tuple[PageTableNode, int]] = []
             step = PAGE_SIZE
+            # level_index/level_size inlined: teardown walks every
+            # mapped page of the range and dominates munmap profiles.
             while True:
-                idx = level_index(addr, node.level)
+                level = node.level
+                if level == PTE_LEVEL:
+                    # Leaf node: clear every in-range slot in one
+                    # visit instead of re-walking from the root per
+                    # 4 KB page — a munmap of N pages inside one PTE
+                    # node is N dict deletes and a single prune, with
+                    # the frame freed at the same point (when the last
+                    # slot empties) as the page-at-a-time walk.
+                    first = (addr >> PAGE_SHIFT) & (ENTRIES_PER_NODE - 1)
+                    count = min(ENTRIES_PER_NODE - first,
+                                (end - addr + PAGE_SIZE - 1)
+                                >> PAGE_SHIFT)
+                    entries = node.entries
+                    removed = 0
+                    for idx in range(first, first + count):
+                        if idx in entries:
+                            del entries[idx]
+                            removed += 1
+                    if removed:
+                        pages += removed
+                        self._prune(parent_chain)
+                    step = 1 << (PAGE_SHIFT + 9)
+                    break
+                idx = (addr >> (PAGE_SHIFT + 9 * level)) \
+                    & (ENTRIES_PER_NODE - 1)
                 entry = node.entries.get(idx)
                 if entry is None:
-                    step = level_size(node.level)
+                    step = 1 << (PAGE_SHIFT + 9 * level)
                     break
-                if not entry.is_leaf and entry.child.shared:
-                    pages += entry.child.population * (
-                        level_size(node.level - 1) // PAGE_SIZE
-                        if node.level - 1 > PTE_LEVEL else 1)
+                child = entry.child
+                if child is not None and child.shared:
+                    pages += child.population * (
+                        level_size(level - 1) // PAGE_SIZE
+                        if level - 1 > PTE_LEVEL else 1)
                     del node.entries[idx]
-                    step = level_size(node.level)
+                    step = 1 << (PAGE_SHIFT + 9 * level)
                     break
-                if entry.is_leaf:
-                    pages += level_size(node.level) // PAGE_SIZE
+                if child is None:
+                    pages += 1 << (9 * level)
                     del node.entries[idx]
                     self._prune(parent_chain)
-                    step = level_size(node.level)
+                    step = 1 << (PAGE_SHIFT + 9 * level)
                     break
                 parent_chain.append((node, idx))
-                node = entry.child
+                node = child
             addr = (addr // step + 1) * step
         return pages
 

@@ -162,9 +162,10 @@ class PointResult:
         )
 
     def comparable_state(self) -> Dict[str, object]:
-        """The state minus fields that vary run-to-run (wall time)."""
+        """The state minus fields that vary run-to-run (wall time,
+        profiler tables)."""
         return {k: v for k, v in self.state.items()
-                if k != "wall_seconds"}
+                if k not in ("wall_seconds", "profile")}
 
 
 def result_state(run: RunResult, stats: Stats, ledger: Ledger,

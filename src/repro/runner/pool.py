@@ -126,8 +126,15 @@ def run_sweep(sweep: Sweep, jobs: int = 1,
               cache: Optional[ResultCache] = None, *,
               point_timeout: Optional[float] = None,
               max_retries: int = 0,
-              retry_seed: int = 0) -> SweepResult:
-    """Execute a sweep; see the module docstring for the contract."""
+              retry_seed: int = 0,
+              profile: bool = False) -> SweepResult:
+    """Execute a sweep; see the module docstring for the contract.
+
+    ``profile=True`` wraps every point in cProfile and attaches its
+    top-functions table to the point state.  Profiled runs bypass the
+    cache in both directions: a hit would return no profile, and a
+    profiled wall (inflated by instrumentation) must never be stored.
+    """
     started = time.perf_counter()
     fingerprint = code_fingerprint()
     results: List[Optional[PointResult]] = [None] * len(sweep.points)
@@ -138,7 +145,8 @@ def run_sweep(sweep: Sweep, jobs: int = 1,
     for i, point in enumerate(sweep.points):
         load_started = time.perf_counter()
         key = point.cache_key(fingerprint)
-        state = cache.get(key) if cache is not None else None
+        state = (cache.get(key)
+                 if cache is not None and not profile else None)
         if state is not None:
             # Wall time of *this* load, not the sweep's elapsed time.
             load_wall = time.perf_counter() - load_started
@@ -155,9 +163,12 @@ def run_sweep(sweep: Sweep, jobs: int = 1,
     rng = random.Random(retry_seed)
     queue = pending
     while queue:
+        # ``profile`` rides in the task, NOT the payload: the payload
+        # feeds the cache key and profiling must not shift it.
         tasks = [{"slot": t["slot"],
                   "payload": t["point"].to_payload(),
-                  "attempt": t["attempt"]} for t in queue]
+                  "attempt": t["attempt"],
+                  "profile": profile} for t in queue]
         if jobs > 1 or point_timeout is not None:
             outcomes = _map_parallel(tasks, jobs, point_timeout)
         else:
@@ -177,7 +188,7 @@ def run_sweep(sweep: Sweep, jobs: int = 1,
                     attempts=attempts, reason="timeout")
             elif out["ok"]:
                 state = out["state"]
-                if cache is not None:
+                if cache is not None and not profile:
                     cache.put(key, state)
                 wall = float(state.get("wall_seconds", 0.0))
                 results[slot] = PointResult.from_state(
@@ -221,7 +232,8 @@ def _guarded_run_point(task: dict) -> dict:
 
     worker.CURRENT_ATTEMPT = task["attempt"]
     try:
-        state = run_point(task["payload"])
+        state = run_point(task["payload"],
+                          profile=task.get("profile", False))
         return {"slot": task["slot"], "ok": True, "state": state}
     except Exception as err:  # noqa: BLE001 — quarantine, never crash
         return {"slot": task["slot"], "ok": False,

@@ -48,8 +48,38 @@ def _reset_naming_counters() -> None:
                 setattr(module, counter, itertools.count())
 
 
-def run_point(payload: Dict[str, object]) -> Dict[str, object]:
-    """Simulate one sweep point; returns its JSON-safe result state."""
+#: Rows kept from a per-point profile (sorted by tottime).
+PROFILE_TOP = 15
+
+
+def _profile_top(profiler, top: int = PROFILE_TOP):
+    """Flatten a cProfile run into JSON-safe top-N rows."""
+    import pstats
+
+    rows = []
+    for func, (_cc, ncalls, tottime, cumtime, _callers) in \
+            pstats.Stats(profiler).stats.items():
+        filename, line, name = func
+        # Trim the path to the package-relative part when possible.
+        marker = filename.rfind("repro/")
+        where = filename[marker:] if marker >= 0 else filename
+        rows.append({"function": f"{where}:{line}({name})",
+                     "ncalls": ncalls,
+                     "tottime": round(tottime, 6),
+                     "cumtime": round(cumtime, 6)})
+    rows.sort(key=lambda row: -row["tottime"])
+    return rows[:top]
+
+
+def run_point(payload: Dict[str, object],
+              profile: bool = False) -> Dict[str, object]:
+    """Simulate one sweep point; returns its JSON-safe result state.
+
+    ``profile=True`` wraps the simulation in :mod:`cProfile` and
+    attaches the top functions by own-time as ``state["profile"]``.
+    Profiled walls include the profiler's overhead, so the pool never
+    caches a profiled state.
+    """
     # Imported lazily: the registry module imports the workloads, and
     # a spawned worker must finish importing this module first.
     from repro.runner.sweeps import POINT_RUNNERS
@@ -67,9 +97,24 @@ def run_point(payload: Dict[str, object]) -> Dict[str, object]:
                     aged=point.aged, topology=topology,
                     placement=point.placement, pin_node=point.pin_node,
                     scheme=point.scheme)
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     started = time.perf_counter()
-    run = runner(system, **point.params)
+    if profiler is not None:
+        profiler.enable()
+        try:
+            run = runner(system, **point.params)
+        finally:
+            profiler.disable()
+    else:
+        run = runner(system, **point.params)
     wall = time.perf_counter() - started
     locks = [lock.report() for lock in system.engine.locks
              if lock.acquisitions]
-    return result_state(run, system.stats, system.ledger, locks, wall)
+    state = result_state(run, system.stats, system.ledger, locks, wall)
+    if profiler is not None:
+        state["profile"] = _profile_top(profiler)
+    return state

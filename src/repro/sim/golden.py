@@ -1,0 +1,114 @@
+"""Pinned mini-sweeps for the fast-forward equivalence gate.
+
+The fast-forward scheduler (:meth:`repro.sim.engine.Engine._drain`)
+and the batched ledger flush must not move a single measured cycle:
+an engine with ``fast_forward=True`` has to produce byte-for-byte the
+results of the classic one-heap-pop-per-event path, on single-threaded
+drains and on contended multi-threaded schedules alike.  This module
+pins that promise: the golden file is captured with fast-forward OFF
+(the classic path), and ``tests/test_engine_golden.py`` replays the
+same points with it ON — plus OFF again, to catch drift in the classic
+path itself — and byte-compares the complete observable state.
+
+The pinned points deliberately cross every scheduler feature: the
+syncbench and kvstore points are long single-runnable stretches (deep
+drains, ``ChargeSpan`` bursts), the scaling/apache points are
+mmap_sem-contended multi-thread schedules (Block/Wake handoffs,
+mid-span preemption, interrupt-debt drains), and the numa point runs
+a split topology with remote-access charging.
+
+``python -m repro.sim.golden`` recaptures the file; do that only when
+a PR intentionally changes simulated costs, and say so in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+GOLDEN_PATH = (Path(__file__).resolve().parents[3]
+               / "tests" / "golden" / "engine_equivalence.json")
+
+#: (sweep name, builder knobs, point filter on ``x``) — small enough
+#: for CI, wide enough to cross drains, spans, wakes and interrupts.
+PINNED = (
+    ("mmu", {"ops": 8, "size": 64 << 10, "media": "optane",
+             "device_gib": 1, "aged": False}, (0.0,)),
+    ("scaling", {"ops": 8, "size": 64 << 10, "media": "optane",
+                 "device_gib": 1, "aged": False}, (1, 2)),
+    ("apache", {"ops": 12, "size": 64 << 10, "media": "optane",
+                "device_gib": 1, "aged": False}, (4,)),
+    ("numa", {"ops": 6, "size": 64 << 10, "media": "optane",
+              "device_gib": 1, "aged": True}, (1, 2)),
+)
+
+
+def golden_states(fast_forward: Optional[bool] = None
+                  ) -> Dict[str, Dict[str, object]]:
+    """Run every pinned point on a fresh machine.
+
+    ``fast_forward`` overrides the module-wide default for the run:
+    ``False`` is the classic heap path the golden was captured with,
+    ``True`` the drain path under test, ``None`` whatever the session
+    default is.
+    """
+    import repro.sim.engine as engine_mod
+    from repro.config import MEDIA_PRESETS
+    from repro.runner.manifest import result_state
+    from repro.runner.sweeps import POINT_RUNNERS, build_sweep
+    from repro.runner.worker import _reset_naming_counters
+    from repro.system import System
+    from repro.topology import MachineTopology
+
+    saved = engine_mod.FAST_FORWARD_DEFAULT
+    if fast_forward is not None:
+        engine_mod.FAST_FORWARD_DEFAULT = fast_forward
+    try:
+        out: Dict[str, Dict[str, object]] = {}
+        for name, knobs, xs in PINNED:
+            sweep = build_sweep(name, **knobs)
+            key = f"{name}-aged" if knobs["aged"] else name
+            states: Dict[str, object] = out.setdefault(key, {})
+            for point in sweep.points:
+                if point.x not in xs:
+                    continue
+                # Mirrors repro.runner.worker.run_point.
+                _reset_naming_counters()
+                costs = MEDIA_PRESETS[point.media]()
+                topology = (MachineTopology.split(costs.machine,
+                                                  point.num_nodes)
+                            if point.num_nodes > 1 else None)
+                system = System(costs=costs,
+                                device_bytes=point.device_gib << 30,
+                                aged=point.aged, topology=topology,
+                                placement=point.placement,
+                                pin_node=point.pin_node,
+                                scheme=point.scheme)
+                run = POINT_RUNNERS[point.experiment](system,
+                                                      **point.params)
+                locks = [lock.report() for lock in system.engine.locks
+                         if lock.acquisitions]
+                state = result_state(run, system.stats, system.ledger,
+                                     locks, 0.0)
+                states[point.label] = {k: v for k, v in state.items()
+                                       if k != "wall_seconds"}
+        return out
+    finally:
+        engine_mod.FAST_FORWARD_DEFAULT = saved
+
+
+def golden_json(fast_forward: Optional[bool] = None) -> str:
+    return json.dumps(golden_states(fast_forward), indent=2,
+                      sort_keys=True) + "\n"
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    # Captured with the classic path: the golden IS the slow engine.
+    GOLDEN_PATH.write_text(golden_json(fast_forward=False))
+    print(f"captured {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,10 @@ from repro.errors import SimulationError
 from repro.obs import CostDomain, charge
 from repro.sim.engine import Block, Compute, Engine, SimThread, Wake
 
+#: Zero-cost reschedule effect shared by every release path: the
+#: engine only reads effects, and releases fire once per lock round.
+_ZERO_COMPUTE = Compute(0.0)
+
 
 class _LockBase:
     """Shared bookkeeping: the engine, costs, and bounce tracking."""
@@ -40,6 +44,24 @@ class _LockBase:
         self.engine = engine
         self.costs = costs
         self.name = name or self.__class__.__name__
+        #: Precomputed ledger event names — acquire fires per fault, so
+        #: the f-string must not be rebuilt every time.  The two entry
+        #: costs are hoisted for the same reason.
+        self._acquire_event = f"{self.name}-acquire"
+        self._blocked_event = f"{self.name}-blocked"
+        self._uncontended_cost = costs.lock_uncontended
+        self._bounce_cost = costs.lock_bounce
+        #: The entry charge takes one of exactly two values (same-core
+        #: re-entry or a cache-line bounce); both effects are pre-built
+        #: and reused — the engine only reads effects, and the acquire
+        #: charge fires once per page fault.
+        self._entry_charge = charge(CostDomain.LOCK_WAIT,
+                                    self._acquire_event,
+                                    self._uncontended_cost)
+        self._bounce_charge = charge(CostDomain.LOCK_WAIT,
+                                     self._acquire_event,
+                                     self._uncontended_cost
+                                     + self._bounce_cost)
         self._last_core: Optional[int] = None
         self.acquisitions = 0
         self.contended_acquisitions = 0
@@ -50,17 +72,20 @@ class _LockBase:
             registry.append(self)
 
     def _current(self) -> SimThread:
-        thread = getattr(self.engine, "current", None)
+        thread = self.engine.current
         if thread is None:
             raise SimulationError(f"{self.name}: no current thread")
         return thread
 
-    def _entry_cost(self, thread: SimThread) -> float:
-        cost = self.costs.lock_uncontended
-        if self._last_core is not None and self._last_core != thread.core.index:
-            cost += self.costs.lock_bounce
-        self._last_core = thread.core.index
-        return cost
+    def _entry_effect(self, thread: SimThread):
+        """The pre-built entry charge for this acquire (and the bounce
+        bookkeeping that goes with choosing it)."""
+        core = thread.core.index
+        last = self._last_core
+        self._last_core = core
+        if last is not None and last != core:
+            return self._bounce_charge
+        return self._entry_charge
 
     def _record_wait(self, thread: SimThread, waited: float) -> None:
         """Book blocked time both locally and in the engine ledger.
@@ -72,7 +97,7 @@ class _LockBase:
         ledger = getattr(self.engine, "ledger", None)
         if ledger is not None:
             ledger.record(thread.name, CostDomain.LOCK_WAIT,
-                          f"{self.name}-blocked", waited)
+                          self._blocked_event, waited)
 
     @property
     def contention_ratio(self) -> float:
@@ -104,8 +129,7 @@ class Spinlock(_LockBase):
 
     def acquire(self):
         thread = self._current()
-        yield charge(CostDomain.LOCK_WAIT, f"{self.name}-acquire",
-                     self._entry_cost(thread))
+        yield self._entry_effect(thread)
         self.acquisitions += 1
         if not self._held:
             self._held = True
@@ -131,7 +155,7 @@ class Spinlock(_LockBase):
             yield Wake(waiter, delay=self.costs.lock_bounce)
         else:
             self._held = False
-        yield Compute(0.0)
+        yield _ZERO_COMPUTE
 
     @property
     def held(self) -> bool:
@@ -181,7 +205,10 @@ class RWSemaphore(_LockBase):
         # Readers: only if no writer holds it and no writer is queued.
         if self._writer_active:
             return False
-        return not any(k == RWSemaphore.WRITE for _t, k in self._queue)
+        for _t, k in self._queue:
+            if k == RWSemaphore.WRITE:
+                return False
+        return True
 
     def _grant(self, kind: str, at: Optional[float] = None) -> None:
         """Record a grant starting at ``at`` (default: now).
@@ -207,8 +234,7 @@ class RWSemaphore(_LockBase):
 
     def _acquire(self, kind: str):
         thread = self._current()
-        yield charge(CostDomain.LOCK_WAIT, f"{self.name}-acquire",
-                     self._entry_cost(thread))
+        yield self._entry_effect(thread)
         self.acquisitions += 1
         if self._can_grant(kind):
             self._grant(kind)
@@ -226,10 +252,13 @@ class RWSemaphore(_LockBase):
         # The releaser performed the grant on our behalf.
 
     def acquire_read(self):
-        yield from self._acquire(RWSemaphore.READ)
+        # Returns the generator directly (no wrapping frame): callers
+        # drive it with ``yield from``, and every frame in that chain
+        # is traversed again on each of the fault path's resumptions.
+        return self._acquire(RWSemaphore.READ)
 
     def acquire_write(self):
-        yield from self._acquire(RWSemaphore.WRITE)
+        return self._acquire(RWSemaphore.WRITE)
 
     # -- release -----------------------------------------------------------
     def _wake_eligible(self):
@@ -259,8 +288,9 @@ class RWSemaphore(_LockBase):
             held = self.engine.now - self._read_since
             self.read_hold_cycles += held
             self.hold_cycles += held
-        yield from self._wake_eligible()
-        yield Compute(0.0)
+        if self._queue:
+            yield from self._wake_eligible()
+        yield _ZERO_COMPUTE
 
     def release_write(self):
         if not self._writer_active:
@@ -269,8 +299,9 @@ class RWSemaphore(_LockBase):
         held = self.engine.now - self._write_since
         self.write_hold_cycles += held
         self.hold_cycles += held
-        yield from self._wake_eligible()
-        yield Compute(0.0)
+        if self._queue:
+            yield from self._wake_eligible()
+        yield _ZERO_COMPUTE
 
     def report(self) -> Dict[str, float]:
         out = super().report()

@@ -20,7 +20,7 @@ from collections import defaultdict
 from typing import Dict, List, Tuple, Union
 
 from repro.errors import MissingCounterError
-from repro.obs.counters import Counter, counter_key
+from repro.obs.counters import _COUNTER_KEYS, Counter, counter_key
 from repro.obs.histogram import Histogram
 
 Name = Union[Counter, str]
@@ -36,7 +36,8 @@ class Stats:
 
     # -- counters ----------------------------------------------------------
     def add(self, name: Name, amount: float = 1.0) -> None:
-        self.counters[counter_key(name)] += amount
+        # ``counter_key`` inlined: ``add`` fires on every fault/walk.
+        self.counters[_COUNTER_KEYS.get(name, name)] += amount
 
     def get(self, name: Name) -> float:
         return self.counters.get(counter_key(name), 0.0)
@@ -59,7 +60,7 @@ class Stats:
 
     # -- time series -------------------------------------------------------
     def sample(self, series: Name, when: float, value: float) -> None:
-        self.samples[counter_key(series)].append((when, value))
+        self.samples[_COUNTER_KEYS.get(series, series)].append((when, value))
 
     def series(self, name: Name) -> List[Tuple[float, float]]:
         return list(self.samples.get(counter_key(name), []))

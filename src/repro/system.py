@@ -87,7 +87,8 @@ class System:
         self.placement = placement
         self.pin_node = pin_node
         cores = num_cores or topology.num_cores
-        self.engine = Engine(cores, topology=topology)
+        self.engine = Engine(cores, topology=topology,
+                             freq_hz=costs.machine.freq_hz)
         self.stats = Stats()
         self.physmem = PhysicalMemory(topology=topology)
         self.mem = MemoryModel(costs)
@@ -232,7 +233,8 @@ class System:
         its PersistenceDomain before rebooting.
         """
         self.engine = Engine(len(self.engine.cores),
-                             topology=self.topology)
+                             topology=self.topology,
+                             freq_hz=self.costs.machine.freq_hz)
         self.fs.engine = self.engine
         # The tracer's clock closes over ``self.engine``, so it follows
         # the new engine automatically; open spans died with the boot.

@@ -45,7 +45,8 @@ from repro.mem.physmem import Medium, PhysicalMemory
 from repro.paging.pagetable import PMD_LEVEL
 from repro.paging.flags import PageFlags
 from repro.paging.schemes import make_scheme
-from repro.obs import Counter, CostDomain, charge
+from repro.obs import Counter, CostDomain, charge, charge_span
+from repro.obs.counters import counter_key
 from repro.paging.tlb import AccessPattern, ShootdownController, TLBModel
 from repro.paging.walker import PageWalker
 from repro.sim.engine import Engine
@@ -60,6 +61,13 @@ PMD_SIZE = 2 << 20
 PAGES_PER_PMD = PMD_SIZE // PAGE_SIZE
 #: Above this many pending faults, aggregate them into one bulk event.
 BULK_FAULT_THRESHOLD = 64
+
+#: Counter keys pre-resolved for the demand-fault path: these three
+#: fire once per 4 KB fault and the ``Stats.add`` call frame plus enum
+#: lookup are measurable at millions of faults per sweep.
+_VM_FAULTS_KEY = counter_key(Counter.VM_FAULTS)
+_VM_PTE_FAULTS_KEY = counter_key(Counter.VM_PTE_FAULTS)
+_VM_HUGE_FAULTS_KEY = counter_key(Counter.VM_HUGE_FAULTS)
 
 
 class MMStruct:
@@ -87,6 +95,10 @@ class MMStruct:
         self.scheme = make_scheme(scheme, physmem, costs, Medium.DRAM,
                                   node=home_node)
         self.mmap_sem = RWSemaphore(engine, costs, f"{name}.mmap_sem")
+        #: The trap-entry charge is a constant; the engine only reads
+        #: effects, so one shared instance serves every demand fault.
+        self._fault_entry_charge = charge(CostDomain.FAULT, "fault-entry",
+                                          costs.fault_entry)
         self.vmas = RBTree()
         self.layout = AddressSpaceLayout(aslr_seed)
         self.page_cache = DirtyTracker()
@@ -248,7 +260,7 @@ class MMStruct:
             frame = fs.frame_for_page(vma.inode, file_region_page)
             self.scheme.map_page(vaddr_region, frame, flags, PMD_LEVEL)
             vma.huge_regions.add(region)
-            self.stats.add(Counter.VM_HUGE_FAULTS)
+            self.stats.counters[_VM_HUGE_FAULTS_KEY] += 1.0
             return self.costs.fault_dax_pmd + lookup, True
         frame = fs.frame_for_page(vma.inode, file_page)
         if frame is None:
@@ -260,13 +272,12 @@ class MMStruct:
             self._raise_sigbus(vma.inode, frame, file_page)
         self.scheme.map_page(vma.start + page * PAGE_SIZE, frame, flags)
         vma.populated.add(page)
-        self.stats.add(Counter.VM_PTE_FAULTS)
+        self.stats.counters[_VM_PTE_FAULTS_KEY] += 1.0
         return self.costs.fault_dax_pte + lookup, False
 
     def fault(self, vma: VMA, page: int, write: bool):
         """One demand fault, fully simulated through the semaphore."""
-        yield charge(CostDomain.FAULT, "fault-entry",
-                     self.costs.fault_entry)
+        yield self._fault_entry_charge
         faults = self.mem.faults
         if faults is not None and vma.inode is not None:
             # Poison check *before* taking mmap_sem: the common SIGBUS
@@ -285,7 +296,7 @@ class MMStruct:
             cost += yield from self._dirty_fault_locked(vma, page)
         yield charge(CostDomain.FAULT, "fault-install", cost)
         yield from self.mmap_sem.release_read()
-        self.stats.add(Counter.VM_FAULTS)
+        self.stats.counters[_VM_FAULTS_KEY] += 1.0
 
     def _dirty_fault_locked(self, vma: VMA, page: int):
         """Write-protect fault: tag page cache, maybe commit metadata."""
@@ -376,8 +387,13 @@ class MMStruct:
         if vma.fully_populated:
             missing = []
         else:
+            # ``_page_state`` inlined: this scan runs for every access
+            # of every workload and the predicate is pure.
+            populated = vma.populated
+            huge_regions = vma.huge_regions
             missing = [p for p in range(first_page, last_page + 1)
-                       if not self._page_state(vma, p)]
+                       if p // PAGES_PER_PMD not in huge_regions
+                       and p not in populated]
         if missing:
             if len(missing) <= BULK_FAULT_THRESHOLD:
                 for page in missing:
@@ -451,11 +467,15 @@ class MMStruct:
         # -- TLB misses --------------------------------------------------------
         tlb_cost = self._tlb_cost(vma, first_page, npages, pattern,
                                   num_ops, nbytes, leaf_factor=lat_f)
-        yield charge(CostDomain.COPY if copy else CostDomain.USERSPACE,
-                     "data-access", data - numa_extra)
+        # One yield for the whole burst: there is no kernel code
+        # between these charges, so span-merging them is bit-identical
+        # (the engine interprets span entries with per-entry arithmetic).
+        entries = [(CostDomain.COPY if copy else CostDomain.USERSPACE,
+                    "data-access", data - numa_extra)]
         if numa_extra:
-            yield charge(CostDomain.NUMA, "remote-access", numa_extra)
-        yield charge(CostDomain.WALK, "tlb-walk", tlb_cost)
+            entries.append((CostDomain.NUMA, "remote-access", numa_extra))
+        entries.append((CostDomain.WALK, "tlb-walk", tlb_cost))
+        yield charge_span(entries)
 
         # -- durability shadowing and sync-epoch races ----------------------
         if write and vma.inode is not None:
@@ -509,6 +529,10 @@ class MMStruct:
             "map-write" if write else "map-read", inode, first_fp,
             last_fp, allow_ue=not vma.fully_populated)
         if stall:
+            # Device-wide freeze: other live threads' cores absorb the
+            # window as FAULTS/stall-stolen (see Engine.broadcast_interrupt).
+            self.engine.broadcast_interrupt(
+                stall, CostDomain.FAULTS, "stall-stolen")
             yield charge(CostDomain.FAULTS, "device-stall", stall)
         if armed is not None:
             yield from self.memory_failure(inode, armed[1], armed[0])

@@ -50,6 +50,11 @@ class MapFlags(enum.Flag):
     NO_MSYNC = enum.auto()
 
 
+_SHARED_BIT = MapFlags.SHARED.value
+_NO_MSYNC_BIT = MapFlags.NO_MSYNC.value
+_WRITE_BIT = Protection.WRITE.value
+
+
 class VMA:
     """One virtual memory area."""
 
@@ -138,9 +143,11 @@ class VMA:
     @property
     def tracks_dirty(self) -> bool:
         """Kernel-side dirty tracking active for this mapping?"""
-        return (self.is_shared_file
-                and self.prot & Protection.WRITE
-                and not self.flags & MapFlags.NO_MSYNC)
+        # Raw-int flag tests: this property gates every access/fault.
+        return (self.inode is not None
+                and self.flags._value_ & _SHARED_BIT != 0
+                and self.prot._value_ & _WRITE_BIT != 0
+                and self.flags._value_ & _NO_MSYNC_BIT == 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         name = self.inode.path if self.inode else "anon"

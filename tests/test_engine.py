@@ -331,3 +331,254 @@ def test_seconds_conversion():
     engine.spawn(worker())
     engine.run()
     assert engine.seconds() == pytest.approx(1.0)
+
+
+def test_seconds_uses_configured_frequency():
+    """seconds() must follow the engine's freq_hz, not a hardcoded
+    2.7 GHz (the historical bug)."""
+    engine = Engine(1, freq_hz=1e9)
+
+    def worker():
+        yield Compute(1e9)
+
+    engine.spawn(worker())
+    engine.run()
+    assert engine.seconds() == pytest.approx(1.0)
+    assert engine.seconds(5e8) == pytest.approx(0.5)
+    # An explicit override still wins.
+    assert engine.seconds(5e8, freq_hz=5e8) == pytest.approx(1.0)
+
+
+def test_system_threads_machine_frequency_into_engine():
+    import dataclasses
+
+    from repro.config import CostModel, MachineConfig
+    from repro.system import System
+
+    costs = CostModel()
+    costs = dataclasses.replace(
+        costs, machine=dataclasses.replace(costs.machine, freq_hz=1e9))
+    system = System(costs=costs, device_bytes=1 << 30)
+    assert system.engine.freq_hz == 1e9
+    assert system.engine.seconds(2e9) == pytest.approx(2.0)
+    assert MachineConfig().freq_hz == 2.7e9  # default unchanged
+
+
+def test_wake_race_within_delay_window_queues():
+    """Two wakers inside the first wake's delay window: the target
+    stays BLOCKED until delivery, so the second Wake queues instead of
+    raising (the historical bug marked the target RUNNABLE at issue)."""
+    engine = Engine(4)
+    events = []
+
+    def sleeper():
+        first = yield Block()
+        events.append(("woke", engine.now, first))
+        yield Compute(100)
+        second = yield Block()
+        events.append(("woke", engine.now, second))
+
+    def waker(target, at, value):
+        yield Compute(at)
+        yield Wake(target, delay=50, value=value)
+
+    target = engine.spawn(sleeper())
+    engine.spawn(waker(target, 10, "first"))
+    engine.spawn(waker(target, 20, "second"))
+    engine.run()
+    # First token delivers at 60; the second fires at 70 while the
+    # target is computing (until 160), is banked, and satisfies the
+    # next Block() immediately.
+    assert events == [("woke", 60, "first"), ("woke", 160, "second")]
+
+
+def test_wake_delivery_order_is_deterministic():
+    """Same-deadline tokens deliver in issue order (seq tie-break)."""
+    engine = Engine(4)
+    got = []
+
+    def sleeper():
+        while len(got) < 2:
+            got.append((yield Block()))
+
+    def waker(target, value):
+        yield Wake(target, delay=30, value=value)
+
+    target = engine.spawn(sleeper())
+    engine.spawn(waker(target, "a"))
+    engine.spawn(waker(target, "b"))
+    engine.run()
+    assert got == ["a", "b"]
+
+
+def test_event_budget_is_per_call():
+    """max_events budgets each run() call, not the engine lifetime
+    (the historical bug compared the cumulative counter)."""
+    engine = Engine(1)
+
+    def phase():
+        for _ in range(80):
+            yield Compute(1)
+
+    engine.spawn(phase())
+    engine.run(max_events=100)
+    assert engine.events_processed >= 80
+    # A second phase gets its own 100-event budget; under the old
+    # cumulative comparison this raised immediately.
+    engine.spawn(phase())
+    engine.run(max_events=100)
+
+
+def test_event_budget_still_trips_within_one_call():
+    engine = Engine(1)
+
+    def spin():
+        while True:
+            yield Compute(1)
+
+    engine.spawn(spin())
+    with pytest.raises(SimulationError):
+        engine.run(max_events=50)
+
+
+def test_stolen_cycles_attributed_to_interrupting_source():
+    """Mixed interrupt sources split FIFO into their own ledger
+    buckets (the historical code booked everything to ipi-stolen)."""
+    engine = Engine(2)
+
+    def victim():
+        yield charge(CostDomain.COPY, "memcpy", 100)
+
+    engine.spawn(victim(), core=1)
+    engine.interrupt_cores([1], 40)  # default: TLB shootdown IPI
+    engine.cores[1].interrupt(25, domain=CostDomain.FAULTS,
+                              event="stall-stolen")
+    engine.run()
+    assert engine.ledger.event_total(CostDomain.TLB_SHOOTDOWN,
+                                     "ipi-stolen") == 40
+    assert engine.ledger.event_total(CostDomain.FAULTS,
+                                     "stall-stolen") == 25
+    assert engine.now == 165
+
+
+def test_stolen_attribution_respects_absorption_bound():
+    """A bounded drain pays debts oldest-first; the remainder waits
+    for the next charge."""
+    engine = Engine(1)
+
+    def victim():
+        yield charge(CostDomain.COPY, "memcpy", 10)    # absorbs <= 1010
+        yield charge(CostDomain.COPY, "memcpy", 1000)  # absorbs the rest
+
+    engine.spawn(victim(), core=0)
+    engine.cores[0].interrupt(600)
+    engine.cores[0].interrupt(600, domain=CostDomain.FAULTS,
+                              event="stall-stolen")
+    engine.run()
+    assert engine.ledger.event_total(CostDomain.TLB_SHOOTDOWN,
+                                     "ipi-stolen") == 600
+    assert engine.ledger.event_total(CostDomain.FAULTS,
+                                     "stall-stolen") == 600
+    assert engine.cores[0].stolen_cycles == 0.0
+
+
+def test_broadcast_interrupt_spares_current_and_daemons():
+    engine = Engine(4)
+
+    def toucher():
+        yield Compute(1)
+        engine.broadcast_interrupt(50, CostDomain.FAULTS, "stall-stolen")
+        yield Compute(1)
+
+    def victim():
+        yield Compute(5)
+        yield Compute(200)  # absorbs the broadcast debt
+
+    def daemon():
+        while True:
+            yield Compute(10)
+
+    engine.spawn(toucher(), core=0)
+    engine.spawn(victim(), core=1)
+    engine.spawn(victim(), core=2)
+    engine.spawn(daemon(), core=3, daemon=True)
+    engine.run()
+    assert engine.cores[0].total_interrupts == 0  # caller exempt
+    assert engine.cores[3].total_interrupts == 0  # daemon exempt
+    assert engine.ledger.event_total(CostDomain.FAULTS,
+                                     "stall-stolen") == 100
+
+
+def test_charge_span_matches_separate_charges():
+    from repro.obs import charge_span
+
+    entries = [(CostDomain.COPY, "data-access", 120.0),
+               (CostDomain.NUMA, "remote-access", 30.0),
+               (CostDomain.WALK, "tlb-walk", 7.5)]
+
+    def spanned():
+        yield charge_span(entries)
+
+    def separate():
+        for domain, event, cycles in entries:
+            yield charge(domain, event, cycles)
+
+    a = Engine(1)
+    a.spawn(spanned(), core=0)
+    a.run()
+    b = Engine(1)
+    b.spawn(separate(), core=0)
+    b.run()
+    assert a.now == b.now
+    assert a.events_processed == b.events_processed
+    assert a.ledger.to_state() == b.ledger.to_state()
+
+
+def test_charge_span_validates_entries():
+    from repro.obs import charge_span
+
+    with pytest.raises(SimulationError):
+        charge_span([("copy", "data", 1.0)])
+    with pytest.raises(SimulationError):
+        charge_span([(CostDomain.COPY, "data", -1.0)])
+    # An empty span is a zero-cost scheduling point, like Compute(0).
+    engine = Engine(1)
+
+    def worker():
+        yield charge_span([])
+        yield Compute(5)
+
+    engine.spawn(worker())
+    assert engine.run() == 5
+
+
+def test_fast_forward_off_matches_on():
+    """The classic heap path and the fast-forward drain must produce
+    identical clocks, ledgers and event counts."""
+    from repro.obs import charge_span
+    from repro.sim.locks import Spinlock
+
+    def build(fast_forward):
+        engine = Engine(4, fast_forward=fast_forward)
+        from repro.config import CostModel
+        lock = Spinlock(engine, CostModel(), "t-lock")
+
+        def worker(n):
+            for i in range(20):
+                yield charge(CostDomain.COPY, "memcpy", 10.0 * (n + i))
+                yield from lock.acquire()
+                yield charge(CostDomain.JOURNAL, "commit", 5.0)
+                yield from lock.release()
+                yield charge_span([(CostDomain.WALK, "tlb-walk", 3.0),
+                                   (CostDomain.NUMA, "remote", 2.0)])
+
+        for n in range(3):
+            engine.spawn(worker(n), core=n)
+        engine.run()
+        return engine
+
+    on = build(True)
+    off = build(False)
+    assert on.now == off.now
+    assert on.events_processed == off.events_processed
+    assert on.ledger.to_state() == off.ledger.to_state()

@@ -1,0 +1,53 @@
+"""The fast-forward bit-identicality gate.
+
+DESIGN.md §12 promises that the fast-forward scheduler and the batched
+ledger flush changed no simulated number: an engine with the drain
+enabled produces byte-for-byte the results of the classic
+one-pop-per-event path.  The golden file is captured with fast-forward
+OFF (the classic engine *is* the reference); this test replays the
+same pinned points with fast-forward ON, and OFF again, and compares
+the complete observable state (cycles, counters, ledger attribution,
+record counts, lock reports) byte for byte.
+
+If this fails, the drain moved a charge, reordered a ledger
+accumulation, or miscounted an event.  Recapture
+(``python -m repro.sim.golden``) only when a PR intentionally changes
+simulated numbers, and say so in the PR.
+"""
+
+import json
+
+import pytest
+
+from repro.sim.golden import GOLDEN_PATH, golden_json
+
+
+def _compare(current: str, golden: str) -> None:
+    if current != golden:  # pragma: no cover - failure diagnostics
+        cur, ref = json.loads(current), json.loads(golden)
+        assert sorted(cur) == sorted(ref)
+        for name in ref:
+            assert sorted(cur[name]) == sorted(ref[name])
+            for label in ref[name]:
+                for field in ("run", "stats", "ledger", "locks"):
+                    assert cur[name][label][field] \
+                        == ref[name][label][field], (
+                            f"{name}/{label}.{field} drifted from the "
+                            f"classic-path golden run")
+    assert current == golden
+
+
+@pytest.fixture(scope="module")
+def golden_text() -> str:
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; capture it with "
+        "`python -m repro.sim.golden`")
+    return GOLDEN_PATH.read_text()
+
+
+def test_fast_forward_reproduces_classic_schedule(golden_text):
+    _compare(golden_json(fast_forward=True), golden_text)
+
+
+def test_classic_path_matches_its_own_golden(golden_text):
+    _compare(golden_json(fast_forward=False), golden_text)
