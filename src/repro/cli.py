@@ -75,12 +75,26 @@ def perf_target(name: str, help_text: str):
 
 def _system(args, **kw) -> System:
     costs = MEDIA_PRESETS[args.media]()
-    topology = (MachineTopology.split(costs.machine, args.nodes)
-                if args.nodes > 1 else None)
+    node_kinds = getattr(args, "node_kinds", None)
+    if node_kinds:
+        kinds = tuple(k.strip() for k in node_kinds.split(",")
+                      if k.strip())
+        topology = MachineTopology.with_kinds(costs.machine, kinds)
+    else:
+        topology = (MachineTopology.split(costs.machine, args.nodes)
+                    if args.nodes > 1 else None)
     kw.setdefault("scheme", args.scheme)
-    return System(costs=costs, device_bytes=args.device << 30,
-                  aged=not args.fresh, topology=topology,
-                  placement=args.policy, pin_node=args.pin_node, **kw)
+    system = System(costs=costs, device_bytes=args.device << 30,
+                    aged=not args.fresh, topology=topology,
+                    placement=args.policy, pin_node=args.pin_node, **kw)
+    tiering = getattr(args, "tiering", None)
+    if tiering:
+        from repro.mem.physmem import Medium
+
+        data, _, flag = tiering.partition(":")
+        system.attach_tiering(data_medium=Medium(data),
+                              daemon=flag == "daemon")
+    return system
 
 
 @experiment("ephemeral", "read-once file access across interfaces")
@@ -500,6 +514,79 @@ def _perf_mmu(args):
     print(format_table(bench))
 
 
+@perf_target("tiering", "hot/cold daemon breakdown: migrations, "
+                        "residency, tier cycles")
+def _perf_tiering(args):
+    """What does ktierd cost, and what does it buy?  Runs the DaxVM
+    syncbench with file data priced on a slow tier (``--tiering``
+    medium, default cxl), once without and once with the migration
+    daemon, and reports total cycles, the ledger's ``tiering`` domain,
+    the migration counters and the final tier residency."""
+    from repro.mem.physmem import Medium
+    from repro.obs import CostDomain
+    from repro.tiering import TieringConfig
+    from repro.workloads import SyncConfig, SyncDiscipline, run_sync
+
+    tier = (args.tiering or "cxl").partition(":")[0]
+    saved_tiering, args.tiering = args.tiering, None
+    if tier == "cxl" and not getattr(args, "node_kinds", None):
+        args.node_kinds = "ddr,cxl"
+    rows = {}
+    try:
+        for daemon in (False, True):
+            system = _system(args)
+            tiers = system.attach_tiering(
+                data_medium=Medium(tier), daemon=daemon,
+                config=TieringConfig(scan_interval=5e5, hot_touches=1,
+                                     cold_scans=4) if daemon else None)
+            cfg = SyncConfig(file_size=max(args.size, 4 << 20),
+                             op_size=1 << 10, ops_per_sync=16,
+                             num_syncs=max(8, min(args.ops, 64)),
+                             discipline=SyncDiscipline.DAXVM_FSYNC)
+            r = run_sync(system, cfg)
+            rows["ktierd" if daemon else "static"] = {
+                "cycles": r.cycles,
+                "domains": r.domains,
+                "tiering_cycles": system.ledger.domain_total(
+                    CostDomain.TIERING),
+                "scans": system.stats.get(Counter.TIERING_SCANS),
+                "promoted_pages": system.stats.get(
+                    Counter.TIERING_PROMOTED_PAGES),
+                "demoted_pages": system.stats.get(
+                    Counter.TIERING_DEMOTED_PAGES),
+                "migrated_bytes": system.stats.get(
+                    Counter.TIERING_MIGRATED_BYTES),
+                "writeback_bytes": system.stats.get(
+                    Counter.TIERING_WRITEBACK_BYTES),
+                "shootdowns": system.stats.get(
+                    Counter.TIERING_SHOOTDOWNS),
+                "residency": tiers.residency(),
+            }
+    finally:
+        args.tiering = saved_tiering
+    if args.json:
+        print(json.dumps({"target": "tiering", "tier": tier,
+                          "media": args.media, "rows": rows},
+                         indent=2, sort_keys=True))
+        return
+    print(format_domain_breakdown(
+        f"DaxVM syncbench, data on {tier}, ktierd on "
+        f"(cycles by cost domain)", rows["ktierd"]["domains"]))
+    table = Table(f"Static {tier} placement vs ktierd migration",
+                  ["variant", "cycles", "tiering cyc", "scans",
+                   "promoted", "demoted", "migrated MB", "shootdowns"])
+    for variant, row in rows.items():
+        table.add_row(variant, row["cycles"], row["tiering_cycles"],
+                      row["scans"], row["promoted_pages"],
+                      row["demoted_pages"],
+                      round(row["migrated_bytes"] / 1e6, 2),
+                      row["shootdowns"])
+    print(format_table(table))
+    resident = rows["ktierd"]["residency"]
+    print(f"ktierd residency at exit: "
+          f"{resident if resident else 'all granules on the device tier'}")
+
+
 def _profile_table(result) -> Table:
     """Merge per-point cProfile tables into one sweep-wide top-N.
 
@@ -619,6 +706,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "--pin-node (multi-socket only)")
     parser.add_argument("--pin-node", type=int, default=0,
                         help="socket the placement is defined against")
+    parser.add_argument("--node-kinds", default=None,
+                        help="comma list of memory-node kinds (ddr, "
+                             "cxl, far), e.g. 'ddr,cxl' adds a CXL "
+                             "expander beside the socket; overrides "
+                             "--nodes")
+    parser.add_argument("--tiering", default=None,
+                        help="price file data on this tier instead of "
+                             "the device medium (dram/pmem/cxl/far); "
+                             "append ':daemon' to start the hot/cold "
+                             "migration kthread, e.g. 'cxl:daemon'")
     parser.add_argument("--workload",
                         choices=("syncbench", "kvstore", "readbench"),
                         default="syncbench",

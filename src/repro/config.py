@@ -41,6 +41,12 @@ class MachineConfig:
     freq_hz: float = 2.7e9
     dram_bytes: int = 94 << 30
     pmem_bytes: int = 384 << 30
+    #: Capacity a CXL-expander node carries when ``--node-kinds``
+    #: configures one (zero capacity exists nowhere by default).
+    cxl_bytes: int = 256 << 30
+    #: Capacity an NT-interleave/far-memory node carries when
+    #: configured.
+    far_bytes: int = 96 << 30
 
     #: Base (4 KB) page and the x86-64 huge page sizes.
     page_size: int = 4096
@@ -98,6 +104,34 @@ class CostModel:
     #: kernel avoids vector registers across the syscall boundary —
     #: §III-C, Vectorization).
     kernel_copy_ratio: float = 0.70
+
+    # ------------------------------------------------------------------
+    # The CXL-expander and far-memory tiers (ROADMAP item 3).  Fed into
+    # the MediumSpec registry (repro.mem.tiers); never read by the
+    # DRAM/PMem paths, so DRAM+PMem-only configs are untouched.
+    # ------------------------------------------------------------------
+    #: Random load from a CXL 2.0 memory expander (~2.5x local DRAM,
+    #: ~205 ns — the latency band CXLRAMSim v1.0 calibrates against).
+    cxl_load_latency: float = 560.0
+    #: Single-thread sequential read over the x8 CXL link.
+    cxl_read_bw: float = 9.0e9
+    #: nt-store streaming bandwidth into the expander.
+    cxl_ntstore_bw: float = 5.0e9
+    #: Leaf PTE line read from CXL-resident tables on a page walk.
+    walk_leaf_cxl: float = 530.0
+    #: Random load from an NT-interleave/far-memory node: remote-socket
+    #: DRAM over UPI, ~1.8x local ("Emulating Hybrid Memory on NUMA
+    #: Hardware").
+    far_load_latency: float = 400.0
+    #: Sequential read from the far node (~60 % of local DRAM).
+    far_read_bw: float = 7.2e9
+    #: Streaming store bandwidth into the far node.
+    far_write_bw: float = 5.4e9
+    #: Leaf PTE line read from far-memory tables.
+    walk_leaf_far: float = 145.0
+    #: Tiering daemon: scan cost per tracked 2 MB granule (hotness
+    #: list walk + counter reset), charged to the tiering domain.
+    tiering_scan_granule: float = 130.0
 
     # ------------------------------------------------------------------
     # Kernel crossing / syscall / VFS costs.
@@ -341,6 +375,15 @@ NUMA_REMOTE_PMEM_LATENCY = 2.3
 NUMA_REMOTE_DRAM_BW = 0.60
 #: Remote / local Optane streaming-bandwidth ratio.
 NUMA_REMOTE_PMEM_BW = 0.45
+#: Remote / local CXL-expander load-latency ratio (an extra switch
+#: hop; the link itself already dominates).
+NUMA_REMOTE_CXL_LATENCY = 1.4
+#: Remote / local CXL-expander streaming-bandwidth ratio.
+NUMA_REMOTE_CXL_BW = 0.70
+#: Remote / local far-memory load-latency ratio (a second UPI hop).
+NUMA_REMOTE_FAR_LATENCY = 1.3
+#: Remote / local far-memory streaming-bandwidth ratio.
+NUMA_REMOTE_FAR_BW = 0.70
 #: Extra initiator cycles per cross-socket IPI target.
 NUMA_IPI_CROSS_SOCKET_EXTRA = 900.0
 

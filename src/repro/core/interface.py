@@ -71,6 +71,7 @@ class DaxVM:
             self.prezero = PreZeroDaemon(engine, fs, costs, mem, stats)
         self.monitor = MMUMonitor(engine, costs, stats, self.filetables)
         self.mem = mem
+        self.physmem = physmem
 
     # ------------------------------------------------------------------
     # daxvm_mmap.
@@ -290,11 +291,17 @@ class DaxVM:
         if build_cycles <= 0:
             yield charge(CostDomain.FILETABLE, "monitor-no-trigger", 0.0)
             return False
-        # Swap each mapping's attachments to the volatile tables.
+        # Swap each mapping's attachments to the volatile tables.  The
+        # migration target is spec-driven: the present medium with the
+        # cheapest leaf walk (DRAM on every machine that has it — the
+        # Table III rule exists precisely because walk_leaf_dram is the
+        # floor of the walk-cost column).
+        fast_medium = min(self.physmem.media_present(),
+                          key=lambda m: self.mem.spec(m).walk_leaf)
         swap_cost = 0.0
         for vma in vmas:
             table = self.filetables.table_for(vma.inode)
-            if table is None or table.medium is not Medium.DRAM:
+            if table is None or table.medium is not fast_medium:
                 continue
             # clear_range detaches shared fragments and clears huge
             # leaves alike.
@@ -304,7 +311,7 @@ class DaxVM:
             granule = PUD_SIZE if vma.length > PUD_SIZE else PMD_SIZE
             swap_cost += self._attach(vma, table, granule)
             vma.leaf_medium = self.mm.scheme.effective_leaf_medium(
-                Medium.DRAM)
+                fast_medium)
         yield charge(CostDomain.FILETABLE, "table-migration-swap",
                      swap_cost * 2)  # detach walk + attach walk
         yield from self.mm.shootdowns.flush(

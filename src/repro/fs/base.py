@@ -90,6 +90,22 @@ class FileSystem:
         return self.mem.device_delay(read_bytes, write_bytes,
                                      self.engine.now)
 
+    def _data_medium(self, inode: Inode, offset: int, nbytes: int,
+                     write: bool) -> Medium:
+        """Where this file range's data lives.  Without a tier overlay
+        that is the device medium (PMem — the pre-tiering model, bit
+        for bit); with one, the overlay decides and the access is
+        tagged for the tiering daemon's hotness scan.  A range spanning
+        tiers is priced at its first page's placement (the granule is
+        2 MB, far above the syscall sizes the sweeps use)."""
+        tiers = self.mem.tiers
+        if tiers is None:
+            return Medium.PMEM
+        first = offset // BLOCK_SIZE
+        last = (offset + max(nbytes, 1) - 1) // BLOCK_SIZE
+        tiers.note_touch(inode, first, last, write=write)
+        return tiers.medium_for(inode, first)
+
     # ------------------------------------------------------------------
     # open/close.
     # ------------------------------------------------------------------
@@ -141,9 +157,10 @@ class FileSystem:
                                         write=False)
         extents = self._extents_touched(file.inode, offset, nbytes)
         lookup = self.costs.extent_lookup * extents
-        copy = self.mem.memcpy(nbytes, Medium.PMEM, Medium.DRAM, kernel=True)
+        src = self._data_medium(file.inode, offset, nbytes, write=False)
+        copy = self.mem.memcpy(nbytes, src, Medium.DRAM, kernel=True)
         if random_access:
-            copy += self.mem.load_latency(Medium.PMEM)
+            copy += self.mem.load_latency(src)
         copy = max(copy, self._device_wait(nbytes, 0))
         yield charge(CostDomain.SYSCALL, "extent-lookup", lookup)
         yield charge(CostDomain.COPY, "read-copy", copy)
@@ -170,7 +187,8 @@ class FileSystem:
                                         write=True)
         extents = self._extents_touched(file.inode, offset, nbytes)
         lookup = self.costs.extent_lookup * extents
-        copy = self.mem.memcpy(nbytes, Medium.DRAM, Medium.PMEM,
+        dst = self._data_medium(file.inode, offset, nbytes, write=True)
+        copy = self.mem.memcpy(nbytes, Medium.DRAM, dst,
                                kernel=True, ntstore=True)
         copy = max(copy, self._device_wait(0, nbytes))
         yield charge(CostDomain.SYSCALL, "extent-lookup", lookup)

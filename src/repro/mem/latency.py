@@ -12,6 +12,15 @@ the paper:
   stores followed by clwb/sfence flushes (Yang et al., FAST'20);
 * kernel copies cannot use AVX-512 (register save/restore across the
   boundary), so they run at a discounted bandwidth.
+
+Since the memory-tier refactor every cost here dispatches through the
+:class:`~repro.mem.tiers.MediumSpec` registry — no function branches on
+a specific :class:`~repro.mem.physmem.Medium` member, and an unknown
+medium raises instead of silently pricing as PMem.  For DRAM and PMem
+the specs carry the historical constants verbatim and the expressions
+below combine them in the historical order, so DRAM+PMem-only machines
+are bit-identical to the pre-refactor model (held by
+``tests/test_tier_golden.py``).
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 from repro.config import CostModel
 from repro.errors import InvalidArgumentError
 from repro.mem.physmem import Medium
+from repro.mem.tiers import MediumSpec, medium_specs, spec_for
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.topology import MachineTopology
@@ -54,6 +64,16 @@ class MemoryModel:
 
     def __init__(self, costs: CostModel):
         self.costs = costs
+        #: The pluggable tier registry: every pricing decision below
+        #: reads the touched medium's spec instead of branching on the
+        #: enum.
+        self.specs = medium_specs(costs)
+        #: Optional :class:`repro.tiering.TierMap` — the hot/cold data
+        #: placement overlay consulted by the VM access path and the
+        #: FS copy paths.  ``None`` (the default) means all file data
+        #: lives on the device's native medium, which reproduces the
+        #: pre-tiering model exactly.
+        self.tiers = None
         #: Per-node device-level contention pools; set by System,
         #: absent in unit use.  Node 0's pool doubles as the legacy
         #: single-socket ``shared`` attribute.
@@ -181,6 +201,11 @@ class MemoryModel:
         """Forget all active streams (power cycle)."""
         self._interference = [[] for _ in self._interference]
 
+    # -- tier registry ------------------------------------------------------
+    def spec(self, medium: Medium) -> MediumSpec:
+        """The medium's pricing spec; unknown media raise loudly."""
+        return spec_for(self.specs, medium)
+
     # -- scalar access ------------------------------------------------------
     def load_latency(self, medium: Medium, cached: bool = False,
                      factor: float = 1.0) -> float:
@@ -188,9 +213,7 @@ class MemoryModel:
         is the NUMA latency multiplier (cache hits never pay it)."""
         if cached:
             return self.costs.cache_load_latency
-        if medium is Medium.DRAM:
-            return self.costs.dram_load_latency * factor
-        return self.costs.pmem_load_latency * factor
+        return self.spec(medium).load_latency * factor
 
     # -- streaming access ---------------------------------------------------
     def stream_read(self, nbytes: int, medium: Medium,
@@ -200,11 +223,11 @@ class MemoryModel:
         ``node``; ``bw_factor`` < 1 models the off-socket link."""
         if cached:
             bandwidth = self.costs.dram_read_bw * 2.5  # LLC-resident
-        elif medium is Medium.DRAM:
-            bandwidth = self.costs.dram_read_bw * bw_factor
         else:
-            bandwidth = (self.costs.pmem_read_bw * bw_factor
-                         / self.interference_for(node))
+            spec = self.spec(medium)
+            bandwidth = spec.read_bw * bw_factor
+            if spec.interference_prone:
+                bandwidth /= self.interference_for(node)
         return self.costs.copy_cycles(nbytes, bandwidth)
 
     def stream_write(self, nbytes: int, medium: Medium,
@@ -218,13 +241,17 @@ class MemoryModel:
         sits dirty in the cache — durability costs are paid later by
         whoever flushes (msync/fsync via :meth:`clwb_flush`).
         """
-        if self.persistence is not None and medium is Medium.PMEM:
+        spec = self.spec(medium)
+        if self.persistence is not None and spec.persistent:
             self.persistence.note_stream(nbytes, ntstore)
-        if medium is Medium.DRAM or not ntstore:
+        if not ntstore or not spec.ntstore_streams:
+            # DRAM-class media (and non-temporal bypass disabled): the
+            # cache hierarchy absorbs the stores at DRAM drain speed.
             bandwidth = self.costs.dram_write_bw
         else:
-            bandwidth = (self.costs.pmem_ntstore_bw * bw_factor
-                         / self.interference_for(node))
+            bandwidth = spec.ntstore_bw * bw_factor
+            if spec.interference_prone:
+                bandwidth /= self.interference_for(node)
         return self.costs.copy_cycles(nbytes, bandwidth)
 
     def random_read(self, nbytes: int, granule: int, medium: Medium,
@@ -247,33 +274,36 @@ class MemoryModel:
         copies (§III-C, Vectorization).  ``bw_factor`` discounts the
         whole pipe when either end sits across the UPI link.
         """
-        if self.persistence is not None and dst is Medium.PMEM:
+        dst_spec = self.spec(dst)
+        if self.persistence is not None and dst_spec.persistent:
             self.persistence.note_stream(nbytes, ntstore)
-        read_bw = (self.costs.pmem_read_bw if src is Medium.PMEM
-                   else self.costs.dram_read_bw)
-        if dst is Medium.DRAM or not ntstore:
+        read_bw = self.spec(src).read_bw
+        if not ntstore or not dst_spec.ntstore_streams:
             # Cached stores: the cache absorbs them at DRAM-like speed
-            # (PMem durability, if needed, is a later clwb flush).
+            # (device durability, if needed, is a later clwb flush).
             write_bw = self.costs.dram_write_bw
         else:
-            write_bw = self.costs.pmem_ntstore_bw
+            write_bw = dst_spec.ntstore_bw
         bandwidth = min(read_bw, write_bw) * bw_factor
         if kernel:
             bandwidth *= self.costs.kernel_copy_ratio
         return self.costs.copy_cycles(nbytes, bandwidth)
 
     # -- persistence ------------------------------------------------------
-    def clwb_flush(self, nbytes: int, bw_factor: float = 1.0) -> float:
-        """Flush ``nbytes`` of dirty cache lines to PMem (clwb+sfence)."""
+    def clwb_flush(self, nbytes: int, bw_factor: float = 1.0,
+                   medium: Medium = Medium.PMEM) -> float:
+        """Flush ``nbytes`` of dirty cache lines to the device
+        (clwb+sfence)."""
         if self.persistence is not None:
             self.persistence.note_flush(nbytes)
         return self.costs.copy_cycles(
-            nbytes, self.costs.pmem_clwb_bw * bw_factor)
+            nbytes, self.spec(medium).clwb_bw * bw_factor)
 
-    def zero(self, nbytes: int, bw_factor: float = 1.0) -> float:
-        """Zero ``nbytes`` of PMem with nt-stores."""
+    def zero(self, nbytes: int, bw_factor: float = 1.0,
+             medium: Medium = Medium.PMEM) -> float:
+        """Zero ``nbytes`` of device memory with nt-stores."""
         return self.costs.copy_cycles(
-            nbytes, self.costs.pmem_zero_bw * bw_factor)
+            nbytes, self.spec(medium).zero_bw * bw_factor)
 
 
 class BandwidthThrottle:

@@ -10,12 +10,13 @@ experiments can report footprint numbers (e.g. DaxVM's file-table
 storage tax, §V-B).
 
 Frame-number recovery property: frames are laid out as all nodes' DRAM
-regions followed by all nodes' PMem regions, so **both** the medium and
-the owning node of a frame can be recovered from the frame number
-alone (``medium_of`` / ``node_of``) — exactly what the page-walk cost
-model and the NUMA access accounting need.  A 1-node topology
-degenerates to the historical "one DRAM then one PMem region" layout
-with identical frame numbers.
+regions followed by all nodes' PMem regions — then, only on machines
+that configure them, all CXL-expander regions and all far-memory
+regions — so **both** the medium and the owning node of a frame can be
+recovered from the frame number alone (``medium_of`` / ``node_of``) —
+exactly what the page-walk cost model and the NUMA access accounting
+need.  A 1-node DRAM+PMem topology degenerates to the historical "one
+DRAM then one PMem region" layout with identical frame numbers.
 """
 
 from __future__ import annotations
@@ -30,10 +31,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 
 class Medium(enum.Enum):
-    """The storage medium backing a physical frame."""
+    """The storage medium backing a physical frame.
+
+    Pricing for each member lives in its :class:`~repro.mem.tiers.
+    MediumSpec` — nothing outside that registry may assume the set of
+    media is closed.
+    """
 
     DRAM = "dram"
     PMEM = "pmem"
+    #: A CXL memory expander: DRAM-class media behind a CXL link —
+    #: volatile, no DIMM-pool contention, ~2.5x DRAM load latency.
+    CXL = "cxl"
+    #: An NT-interleave / far-memory node ("Emulating Hybrid Memory on
+    #: NUMA Hardware"): remote-socket DRAM used as a slow second tier.
+    FAR = "far"
 
 
 class AllocPolicy(enum.Enum):
@@ -136,32 +148,55 @@ class PhysicalMemory:
                  pmem_bytes: Optional[int] = None,
                  topology: Optional["MachineTopology"] = None):
         if topology is not None:
-            specs = [(node.dram_bytes, node.pmem_bytes)
+            specs = [(node.dram_bytes, node.pmem_bytes,
+                      node.cxl_bytes, node.far_bytes)
                      for node in topology.nodes]
         else:
             if dram_bytes is None or pmem_bytes is None:
                 raise MemoryError_(
                     "PhysicalMemory needs dram_bytes+pmem_bytes or a "
                     "topology")
-            specs = [(dram_bytes, pmem_bytes)]
+            specs = [(dram_bytes, pmem_bytes, 0, 0)]
         self.topology = topology
         self.dram_regions: List[Region] = []
         self.pmem_regions: List[Region] = []
+        self.cxl_regions: List[Region] = []
+        self.far_regions: List[Region] = []
         base = 0
-        for node, (dram, _pmem) in enumerate(specs):
-            region = Region(Medium.DRAM, dram, base_frame=base, node=node)
+        for node, spec in enumerate(specs):
+            region = Region(Medium.DRAM, spec[0], base_frame=base, node=node)
             self.dram_regions.append(region)
             base += region.total_frames
         self._pmem_floor = base
-        for node, (_dram, pmem) in enumerate(specs):
-            region = Region(Medium.PMEM, pmem, base_frame=base, node=node)
+        for node, spec in enumerate(specs):
+            region = Region(Medium.PMEM, spec[1], base_frame=base, node=node)
             self.pmem_regions.append(region)
             base += region.total_frames
+        # Expander media sit above every DRAM/PMem frame so that the
+        # historical two-medium frame numbering is untouched when no
+        # node carries them (the tier-equivalence golden relies on it).
+        self._cxl_floor = base
+        if any(spec[2] for spec in specs):
+            for node, spec in enumerate(specs):
+                region = Region(Medium.CXL, spec[2], base_frame=base,
+                                node=node)
+                self.cxl_regions.append(region)
+                base += region.total_frames
+        self._far_floor = base
+        if any(spec[3] for spec in specs):
+            for node, spec in enumerate(specs):
+                region = Region(Medium.FAR, spec[3], base_frame=base,
+                                node=node)
+                self.far_regions.append(region)
+                base += region.total_frames
+        self._frames_end = base
         self.dram = self.dram_regions[0]
         self.pmem = self.pmem_regions[0]
         self._by_medium = {Medium.DRAM: self.dram_regions,
-                           Medium.PMEM: self.pmem_regions}
-        self._interleave_next = {Medium.DRAM: 0, Medium.PMEM: 0}
+                           Medium.PMEM: self.pmem_regions,
+                           Medium.CXL: self.cxl_regions,
+                           Medium.FAR: self.far_regions}
+        self._interleave_next = {medium: 0 for medium in Medium}
         #: Optional :class:`repro.crash.PersistenceDomain`: PMem frame
         #: lifecycle is reported so crash exploration can account for
         #: persistent-capacity churn.  Passive — allocation behaviour
@@ -181,6 +216,11 @@ class PhysicalMemory:
     def pmem_frames(self) -> List[int]:
         return [region.total_frames for region in self.pmem_regions]
 
+    def media_present(self) -> List[Medium]:
+        """Media with any capacity on this machine, fixed order."""
+        return [medium for medium, regions in self._by_medium.items()
+                if any(region.total_frames for region in regions)]
+
     # -- allocation ---------------------------------------------------------
     def alloc_frame(self, medium: Medium, node: Optional[int] = None,
                     policy: AllocPolicy = AllocPolicy.LOCAL) -> int:
@@ -190,6 +230,10 @@ class PhysicalMemory:
         from node 0 — identical to the pre-topology allocator.
         """
         regions = self._by_medium[medium]
+        if not regions:
+            raise MemoryError_(
+                f"this machine has no {medium.value} memory (no node "
+                f"carries the medium; see --node-kinds)")
         if policy is AllocPolicy.INTERLEAVE and len(regions) > 1:
             order = list(range(len(regions)))
             start = self._interleave_next[medium]
@@ -221,7 +265,18 @@ class PhysicalMemory:
 
     # -- frame-number recovery ---------------------------------------------
     def medium_of(self, frame: int) -> Medium:
-        return Medium.DRAM if frame < self._pmem_floor else Medium.PMEM
+        if frame < self._pmem_floor:
+            return Medium.DRAM
+        if frame < self._cxl_floor:
+            return Medium.PMEM
+        if frame < self._far_floor:
+            return Medium.CXL
+        if frame < self._frames_end:
+            return Medium.FAR
+        # Frames past every region (standalone test devices with
+        # synthetic base frames) stay "somewhere on PMem" — the
+        # historical clamp.
+        return Medium.PMEM
 
     def region_of(self, frame: int) -> Region:
         """The region owning a frame (raises on out-of-range frames)."""

@@ -109,6 +109,14 @@ class Counter(enum.Enum):
     FAULTS_STALL_EPISODES = "faults.stall_episodes"
     FAULTS_CLEAR_POISON_CALLS = "faults.clear_poison_calls"
 
+    # -- Hot/cold tiering daemon (tiering/) -------------------------------
+    TIERING_SCANS = "tiering.scans"
+    TIERING_PROMOTED_PAGES = "tiering.promoted_pages"
+    TIERING_DEMOTED_PAGES = "tiering.demoted_pages"
+    TIERING_MIGRATED_BYTES = "tiering.migrated_bytes"
+    TIERING_WRITEBACK_BYTES = "tiering.writeback_bytes"
+    TIERING_SHOOTDOWNS = "tiering.shootdowns"
+
     # -- Baselines ---------------------------------------------------------
     LATR_LAZY_INVALIDATIONS = "latr.lazy_invalidations"
 

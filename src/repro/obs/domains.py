@@ -57,6 +57,10 @@ class CostDomain(enum.Enum):
     #: injected device stalls.  Zero unless a repro.faults plan is
     #: armed on the machine.
     FAULTS = "faults"
+    #: The hot/cold tiering daemon: hotness scans, page migration
+    #: copies, remaps and migration shootdown initiation.  Zero unless
+    #: a tier overlay is attached (repro.tiering).
+    TIERING = "tiering"
 
     def __str__(self) -> str:  # pragma: no cover - display aid
         return self.value
@@ -80,6 +84,7 @@ DOMAIN_ORDER = [
     CostDomain.JOURNAL,
     CostDomain.FILETABLE,
     CostDomain.LOCK_WAIT,
+    CostDomain.TIERING,
     CostDomain.CRASH,
     CostDomain.FAULTS,
 ]

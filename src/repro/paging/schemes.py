@@ -171,6 +171,19 @@ class TranslationScheme:
         """
         raise NotImplementedError
 
+    def coalesce_tlb_misses(self, misses: float, vaddr: int,
+                            npages: int) -> float:
+        """Cap an access window's base-page TLB misses.
+
+        Radix and hashed MMUs cache one translation per page, so the
+        per-page miss estimate stands (returned unchanged — the default
+        is bit-identical by construction).  Schemes whose TLB entries
+        cover more than one page override this: the range MMU holds one
+        entry per contiguous run, so a window spanning K runs can miss
+        at most K times no matter how many pages it touches.
+        """
+        return misses
+
     # -- structure-frame accounting ------------------------------------
     def structure_frames(self) -> List[int]:
         """Frames owned by this scheme (shared fragments excluded)."""
@@ -828,6 +841,27 @@ class RangeScheme(TranslationScheme):
 
     def effective_leaf_medium(self, table_medium: Medium) -> Medium:
         return self.medium
+
+    def coalesce_tlb_misses(self, misses: float, vaddr: int,
+                            npages: int) -> float:
+        """One range-TLB entry covers a whole contiguous run, so the
+        window's misses are capped by the number of runs it overlaps —
+        a clean image maps one run per attachment and pays ~1 miss
+        where the radix MMU pays one per page; an aged image's
+        fragmented runs erode exactly that advantage."""
+        end = vaddr + npages * PAGE_SIZE
+        index = max(0, self._find(vaddr))
+        runs = 0
+        while index < len(self.ranges) and self.ranges[index][0] < end:
+            if self.ranges[index][1] > vaddr:
+                runs += 1
+            index += 1
+        if runs == 0:
+            # Window not yet mapped (misses estimated pre-fault):
+            # treat it as one run per future attachment — at worst the
+            # per-page estimate.
+            return min(misses, 1.0) if misses else misses
+        return min(misses, float(runs))
 
     # -- accounting ---------------------------------------------------------
     def structure_frames(self) -> List[int]:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.config import CostModel
 from repro.mem.physmem import Medium
+from repro.mem.tiers import medium_specs, spec_for
 from repro.paging.pagetable import PMD_LEVEL, PTE_LEVEL, Translation
 from repro.paging.tlb import AccessPattern
 
@@ -23,6 +24,9 @@ class PageWalker:
 
     def __init__(self, costs: CostModel):
         self.costs = costs
+        #: Per-medium leaf-read cycles via the tier registry (DRAM and
+        #: PMem specs carry walk_leaf_dram/walk_leaf_pmem verbatim).
+        self._specs = medium_specs(costs)
 
     def walk_cost(self, pattern: AccessPattern, leaf_medium: Medium,
                   leaf_level: int = PTE_LEVEL,
@@ -44,8 +48,7 @@ class PageWalker:
         else:
             upper = self.costs.walk_upper_rand
             miss = self.costs.walk_leaf_miss_rand
-        leaf = (self.costs.walk_leaf_pmem if leaf_medium is Medium.PMEM
-                else self.costs.walk_leaf_dram)
+        leaf = spec_for(self._specs, leaf_medium).walk_leaf
         return upper + miss * leaf * leaf_factor
 
     def walk_cost_for(self, translation: Translation,

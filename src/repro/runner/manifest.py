@@ -56,6 +56,15 @@ class SweepPoint:
     #: Translation architecture (see :data:`repro.paging.schemes.
     #: SCHEMES`); part of the payload, hence of the cache key.
     scheme: str = "radix4"
+    #: Memory-expander node kinds beyond the ddr sockets, as a
+    #: comma-joined string (e.g. ``"cxl"`` or ``"cxl,far"``); empty =
+    #: the historical DRAM+PMem machine.  JSON-safe by construction.
+    node_kinds: str = ""
+    #: Tier overlay for the point: ``{}`` = none (pre-tiering model);
+    #: otherwise ``{"data": "cxl", "daemon": true, ...}`` — consumed by
+    #: the worker's ``attach_tiering`` call.  Part of the payload,
+    #: hence of the cache key.
+    tiering: Dict[str, object] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -80,6 +89,8 @@ class SweepPoint:
             "placement": self.placement,
             "pin_node": self.pin_node,
             "scheme": self.scheme,
+            "node_kinds": self.node_kinds,
+            "tiering": dict(self.tiering),
         }
 
     @classmethod

@@ -400,6 +400,58 @@ def _numa_sweep(*, ops: int, size: int, media: str, device_gib: int,
                  points=points, axis="threads")
 
 
+#: Data tiers of the tiering sweep, in x-axis order.  ``dram`` is the
+#: tmpfs-like bound (no daemon variant: nothing faster to promote to).
+TIERING_TIERS = ("dram", "pmem", "cxl")
+
+
+@sweep("tiering", "interfaces x data tier (DRAM/PMem/CXL) x ktierd")
+def _tiering_sweep(*, ops: int, size: int, media: str, device_gib: int,
+                   aged: bool) -> Sweep:
+    """Where does each interface break even as file data moves down
+    the memory hierarchy?  Read-once (read/mmap/daxvm) plus syncbench
+    at every data tier (x = tier index: 0 dram, 1 pmem, 2 cxl), with
+    and without the hot/cold migration daemon.  CXL points carry an
+    expander node (``node_kinds``), so the machine actually has the
+    medium it prices.  The daemon runs hair-triggered (one touch
+    promotes, short scan interval) so short sweep points exercise real
+    migrations, not just scans."""
+    daemon_knobs = {"daemon": True, "scan_interval": 5e5,
+                    "hot_touches": 1, "cold_scans": 4}
+    num_syncs = max(8, min(ops, 64))
+    points = []
+    for x, tier in enumerate(TIERING_TIERS):
+        node_kinds = "ddr,cxl" if tier == "cxl" else ""
+        daemons = (False,) if tier == "dram" else (False, True)
+        for daemon in daemons:
+            tiering = dict(daemon_knobs) if daemon else {"data": tier}
+            if daemon:
+                tiering["data"] = tier
+            suffix = "+ktierd" if daemon else ""
+            for interface in (Interface.READ, Interface.MMAP,
+                              Interface.DAXVM):
+                points.append(SweepPoint(
+                    experiment="ephemeral",
+                    series=f"{interface.value}{suffix}", x=x,
+                    params={"file_size": size, "num_files": ops,
+                            "num_threads": 4,
+                            "interface": interface.value},
+                    media=media, device_gib=device_gib, aged=aged,
+                    node_kinds=node_kinds, tiering=tiering))
+            points.append(SweepPoint(
+                experiment="syncbench", series=f"syncbench{suffix}",
+                x=x,
+                params={"file_size": max(size, 4 << 20),
+                        "op_size": 1 << 10, "ops_per_sync": 16,
+                        "num_syncs": num_syncs,
+                        "discipline": "daxvm+fsync"},
+                media=media, device_gib=device_gib, aged=aged,
+                node_kinds=node_kinds, tiering=tiering))
+    return Sweep(name="tiering",
+                 title="Interfaces across data tiers (Kops/s)",
+                 points=points, axis="tier")
+
+
 def build_sweep(name: str, *, ops: int, size: int, media: str,
                 device_gib: int, aged: bool) -> Sweep:
     """Expand a named sweep with the given CLI-level knobs."""

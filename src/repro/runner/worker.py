@@ -48,6 +48,25 @@ def _reset_naming_counters() -> None:
                 setattr(module, counter, itertools.count())
 
 
+def _attach_tiering(system: System, spec: Dict[str, object]) -> None:
+    """Build the point's tier overlay from its JSON-safe ``tiering``
+    dict: ``data`` names the default medium, ``daemon`` starts the
+    migration kthread, and the optional policy knobs map straight onto
+    :class:`~repro.tiering.TieringConfig` fields."""
+    from repro.mem.physmem import Medium
+    from repro.tiering import TieringConfig
+
+    data = Medium(spec.get("data", "pmem"))
+    daemon = bool(spec.get("daemon", False))
+    knobs = {key: spec[key] for key in
+             ("scan_interval", "hot_touches", "cold_scans",
+              "migrate_budget_bytes") if key in spec}
+    if "hot" in spec:
+        knobs["hot_medium"] = Medium(spec["hot"])
+    config = TieringConfig(**knobs) if (daemon and knobs) else None
+    system.attach_tiering(data_medium=data, daemon=daemon, config=config)
+
+
 #: Rows kept from a per-point profile (sorted by tottime).
 PROFILE_TOP = 15
 
@@ -91,12 +110,19 @@ def run_point(payload: Dict[str, object],
                        f"known: {sorted(POINT_RUNNERS)}")
     _reset_naming_counters()
     costs = MEDIA_PRESETS[point.media]()
-    topology = (MachineTopology.split(costs.machine, point.num_nodes)
-                if point.num_nodes > 1 else None)
+    if point.node_kinds:
+        kinds = tuple(k.strip() for k in point.node_kinds.split(",")
+                      if k.strip())
+        topology = MachineTopology.with_kinds(costs.machine, kinds)
+    else:
+        topology = (MachineTopology.split(costs.machine, point.num_nodes)
+                    if point.num_nodes > 1 else None)
     system = System(costs=costs, device_bytes=point.device_gib << 30,
                     aged=point.aged, topology=topology,
                     placement=point.placement, pin_node=point.pin_node,
                     scheme=point.scheme)
+    if point.tiering:
+        _attach_tiering(system, point.tiering)
     profiler = None
     if profile:
         import cProfile

@@ -118,6 +118,8 @@ class System:
         self.persistence = None
         #: Attached :class:`repro.faults.MediaFaults`, if any.
         self.faults = None
+        #: Attached :class:`repro.tiering.TieringDaemon`, if any.
+        self.tiering = None
 
     def _make_pools(self) -> "list[SharedBandwidth]":
         """One aggregate PMem bandwidth pool per socket.  The machine
@@ -265,6 +267,33 @@ class System:
         self.fs.faults = faults
         self.mem.faults = faults
         faults.bind(self)
+
+    # -- memory tiering ------------------------------------------------------
+    def attach_tiering(self, data_medium=None, daemon: bool = False,
+                       config=None, core: Optional[int] = None):
+        """Attach a data-placement overlay (and optionally start the
+        migration daemon).
+
+        ``data_medium`` picks where file data is priced by default —
+        ``Medium.PMEM`` reproduces the untierd machine, ``Medium.CXL``
+        models the file system backed by an expander, ``Medium.DRAM``
+        a DRAM-resident (tmpfs-like) placement.  With ``daemon=True``
+        a ktierd thread scans hotness tags every ``config.
+        scan_interval`` cycles and migrates 2 MB granules between the
+        device tier and ``config.hot_medium``.  Returns the TierMap.
+        """
+        from repro.mem.physmem import Medium
+        from repro.tiering import TierMap, TieringDaemon
+
+        tiers = TierMap(default=data_medium or Medium.PMEM)
+        self.mem.tiers = tiers
+        if daemon:
+            self.tiering = TieringDaemon(self.engine, self.mem,
+                                         self.costs, self.stats,
+                                         tiers, config=config)
+            self.tiering.start(core=core if core is not None
+                               else self.engine.cores[-1].index)
+        return tiers
 
     def seconds(self, cycles: Optional[float] = None) -> float:
         value = self.engine.now if cycles is None else cycles

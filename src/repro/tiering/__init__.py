@@ -1,0 +1,13 @@
+"""Memory tiering: the pluggable medium registry's kernel daemon.
+
+The tier model itself (per-medium latency/bandwidth/persistence specs)
+lives in :mod:`repro.mem.tiers`; this package holds the pieces that act
+on it — the hot/cold migration daemon (:mod:`repro.tiering.daemon`) and
+the pre-refactor equivalence gate (:mod:`repro.tiering.golden`).
+"""
+
+from repro.tiering.daemon import (GRANULE_BYTES, GRANULE_PAGES, TierMap,
+                                  TieringConfig, TieringDaemon)
+
+__all__ = ["GRANULE_BYTES", "GRANULE_PAGES", "TierMap",
+           "TieringConfig", "TieringDaemon"]

@@ -1,0 +1,106 @@
+"""Pinned mini-sweeps for the tier-equivalence gate.
+
+The memory-tier refactor replaced every ``if medium is Medium.DRAM …
+else <PMem>`` branch — pricing in :mod:`repro.mem.latency`, leaf-walk
+selection in :mod:`repro.paging.walker`, the topology factor matrices,
+the access-charging path in :mod:`repro.vm.mm` and the FS copy paths —
+with dispatch through the :class:`~repro.mem.tiers.MediumSpec`
+registry.  A DRAM+PMem-only machine must be the pre-refactor simulator
+*bit for bit*: the specs carry exactly the constants the branches used
+to read, in exactly the expression order they used to be combined.
+
+This module pins that promise the honest way — the golden file was
+captured from the tree **before** the registry landed, and
+``tests/test_tier_golden.py`` replays the same points and byte-compares
+the results.  The pinned set crosses every refactored layer: ephemeral
+read/mmap/DaxVM (stream pricing, FS copies, access charging), an aged
+Apache run (attach/detach, zeroing, walk media), radix4 syncbench and
+kvstore points on clean and aged images (PMem-leaf walks, msync
+flushes), and a two-socket placement trio (latency/bandwidth factor
+matrices, interleave striping).  Range-scheme points are deliberately
+absent: the same PR retunes range-TLB charging (one entry per run).
+
+``python -m repro.tiering.golden`` recaptures the file; do that only
+when a PR intentionally changes simulated costs, and say so in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+GOLDEN_PATH = (Path(__file__).resolve().parents[3]
+               / "tests" / "golden" / "tier_equivalence.json")
+
+#: (sweep name, builder knobs, x filter, series filter or None).
+PINNED = (
+    ("scaling", {"ops": 8, "size": 64 << 10, "media": "optane",
+                 "device_gib": 1, "aged": False}, (1, 4), None),
+    ("apache", {"ops": 12, "size": 64 << 10, "media": "optane",
+                "device_gib": 1, "aged": True}, (4,), None),
+    ("mmu", {"ops": 16, "size": 64 << 10, "media": "optane",
+             "device_gib": 1, "aged": False}, (0, 1),
+     ("syncbench+radix4", "kvstore+radix4")),
+    ("numa", {"ops": 6, "size": 64 << 10, "media": "optane",
+              "device_gib": 1, "aged": False}, (2,), None),
+)
+
+
+def golden_states() -> Dict[str, Dict[str, object]]:
+    """Run every pinned point on a fresh machine.
+
+    Mirrors :func:`repro.runner.worker.run_point` — including the
+    two-socket topology build for the ``numa`` points — minus the
+    wall-clock field, which varies run to run.
+    """
+    from repro.config import MEDIA_PRESETS
+    from repro.runner.manifest import result_state
+    from repro.runner.sweeps import POINT_RUNNERS, build_sweep
+    from repro.runner.worker import _reset_naming_counters
+    from repro.system import System
+    from repro.topology import MachineTopology
+
+    out: Dict[str, Dict[str, object]] = {}
+    for name, knobs, xs, series in PINNED:
+        sweep = build_sweep(name, **knobs)
+        key = f"{name}-aged" if knobs["aged"] else name
+        states: Dict[str, object] = out.setdefault(key, {})
+        for point in sweep.points:
+            if point.x not in xs:
+                continue
+            if series is not None and point.series not in series:
+                continue
+            _reset_naming_counters()
+            costs = MEDIA_PRESETS[point.media]()
+            topology = (MachineTopology.split(costs.machine,
+                                              point.num_nodes)
+                        if point.num_nodes > 1 else None)
+            system = System(costs=costs,
+                            device_bytes=point.device_gib << 30,
+                            aged=point.aged, topology=topology,
+                            placement=point.placement,
+                            pin_node=point.pin_node,
+                            scheme=point.scheme)
+            run = POINT_RUNNERS[point.experiment](system, **point.params)
+            locks = [lock.report() for lock in system.engine.locks
+                     if lock.acquisitions]
+            state = result_state(run, system.stats, system.ledger,
+                                 locks, 0.0)
+            states[point.label] = {k: v for k, v in state.items()
+                                   if k != "wall_seconds"}
+    return out
+
+
+def golden_json() -> str:
+    return json.dumps(golden_states(), indent=2, sort_keys=True) + "\n"
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(golden_json())
+    print(f"captured {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

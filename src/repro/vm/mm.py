@@ -129,10 +129,13 @@ class MMStruct:
         current = self.engine.current
         return current.core.index if current is not None else 0
 
-    def _numa_info(self, vma: VMA, first_page: int):
+    def _numa_info(self, vma: VMA, first_page: int,
+                   medium: Medium = Medium.PMEM):
         """(latency factor, bandwidth factor, target node, is-remote)
         for the running thread touching a mapping — or ``None`` on
-        uniform machines, keeping the single-socket path untouched."""
+        uniform machines, keeping the single-socket path untouched.
+        ``medium`` is where the data actually resides (the device's
+        native medium unless a tier overlay promoted it)."""
         if self.topology is None or self.topology.num_nodes == 1:
             return None
         frame = None
@@ -143,7 +146,7 @@ class MMStruct:
             except Exception:
                 frame = None  # hole/ephemeral: fall back to uniform
         return self.mem.numa_factors(
-            self._initiator_core(), frame, Medium.PMEM)
+            self._initiator_core(), frame, medium)
 
     # ------------------------------------------------------------------
     # VMA lookup.
@@ -418,7 +421,18 @@ class MMStruct:
         # -- data movement ---------------------------------------------------
         nbytes = touch_bytes if touch_bytes is not None else length
         num_ops = ops or 1
-        numa = self._numa_info(vma, first_page)
+        # The tier overlay (when attached) may have migrated this
+        # window off the device's native medium; `None` — the default —
+        # resolves to PMem, reproducing the pre-tiering model exactly.
+        tiers = self.mem.tiers
+        if tiers is None or vma.inode is None:
+            data_medium = Medium.PMEM
+        else:
+            data_medium = tiers.medium_for(vma.inode,
+                                           vma.file_page(first_page))
+            tiers.note_touch(vma.inode, vma.file_page(first_page),
+                             vma.file_page(last_page), write=write)
+        numa = self._numa_info(vma, first_page, data_medium)
         lat_f, bw_f, target_node, numa_remote = numa or (1.0, 1.0, 0, False)
 
         def movement(lat_factor: float, bw_factor: float) -> float:
@@ -427,27 +441,27 @@ class MMStruct:
             bit — every factor is exactly 1.0)."""
             if write and copy:
                 return self.mem.memcpy(
-                    nbytes, Medium.DRAM, Medium.PMEM, ntstore=ntstore,
+                    nbytes, Medium.DRAM, data_medium, ntstore=ntstore,
                     bw_factor=bw_factor) * num_ops
             if write:
                 return self.mem.stream_write(
-                    nbytes, Medium.PMEM, ntstore=ntstore,
+                    nbytes, data_medium, ntstore=ntstore,
                     node=target_node, bw_factor=bw_factor) * num_ops
             if copy:
-                cycles = self.mem.memcpy(nbytes, Medium.PMEM, Medium.DRAM,
+                cycles = self.mem.memcpy(nbytes, data_medium, Medium.DRAM,
                                          bw_factor=bw_factor)
                 if pattern is AccessPattern.RANDOM:
-                    cycles += self.mem.load_latency(Medium.PMEM,
+                    cycles += self.mem.load_latency(data_medium,
                                                     factor=lat_factor)
                 return cycles * num_ops
             if pattern is AccessPattern.RANDOM:
-                return (self.mem.load_latency(Medium.PMEM, factor=lat_factor)
+                return (self.mem.load_latency(data_medium, factor=lat_factor)
                         + self.mem.stream_read(
-                            nbytes, Medium.PMEM, cached=data_cached,
+                            nbytes, data_medium, cached=data_cached,
                             node=target_node,
                             bw_factor=bw_factor)) * num_ops
             return self.mem.stream_read(
-                nbytes, Medium.PMEM, cached=data_cached, node=target_node,
+                nbytes, data_medium, cached=data_cached, node=target_node,
                 bw_factor=bw_factor) * num_ops
 
         data = movement(lat_f, bw_f)
@@ -456,8 +470,10 @@ class MMStruct:
         numa_extra = data - movement(1.0, 1.0) if numa_remote else 0.0
 
         # -- device bandwidth contention ------------------------------------
+        # Only media sharing the PMem DIMM pools contend there; data a
+        # tier overlay moved to DRAM/CXL rides its own channel.
         total_bytes = nbytes * num_ops
-        if not data_cached:
+        if not data_cached and self.mem.spec(data_medium).device_pooled:
             wait = self.mem.device_delay(
                 0 if write else total_bytes,
                 total_bytes if write else 0, self.engine.now,
@@ -655,6 +671,12 @@ class MMStruct:
             misses_huge = (self.tlb.random_op_misses(
                 int(num_ops * huge_fraction) or 0, op_bytes, PMD_SIZE, hfoot)
                 if huge_fraction else 0)
+        # Schemes whose TLB entries span more than one page (the
+        # range MMU: one entry per contiguous run) cap the per-page
+        # miss count here; radix/hashed return it unchanged.
+        misses_small = self.scheme.coalesce_tlb_misses(
+            misses_small, vma.start + first_page * PAGE_SIZE,
+            npages)
         walk_small = self.scheme.walk_cost(self.walker, pattern, leaf_medium,
                                            leaf_factor=leaf_factor)
         cost = (misses_small * walk_small

@@ -1,0 +1,50 @@
+"""The DRAM+PMem bit-identicality gate of the memory-tier refactor.
+
+DESIGN.md §13 promises that moving every ``if medium is Medium.DRAM``
+branch behind the :class:`~repro.mem.tiers.MediumSpec` registry changed
+no simulated number on a DRAM+PMem-only machine: the specs carry the
+exact constants the branches read, combined in the exact expression
+order.  The golden file was captured on the commit before the registry
+landed; this test replays the same pinned points — ephemeral
+read/mmap/DaxVM, aged Apache, radix4 syncbench/kvstore on clean and
+aged images, and the two-socket placement trio — and compares the
+complete observable state (cycles, counters, ledger attribution, lock
+reports) byte for byte.
+
+If this fails, the spec indirection leaked a cost or reordered a float
+expression.  Recapture (``python -m repro.tiering.golden``) only when
+a PR intentionally changes simulated numbers, and say so in the PR.
+"""
+
+import json
+
+import pytest
+
+from repro.tiering.golden import GOLDEN_PATH, golden_json
+
+
+def _compare(current: str, golden: str) -> None:
+    if current != golden:  # pragma: no cover - failure diagnostics
+        cur, ref = json.loads(current), json.loads(golden)
+        assert sorted(cur) == sorted(ref)
+        for name in ref:
+            assert sorted(cur[name]) == sorted(ref[name])
+            for label in ref[name]:
+                for field in ("run", "stats", "ledger", "locks"):
+                    assert cur[name][label][field] \
+                        == ref[name][label][field], (
+                            f"{name}/{label}.{field} drifted from the "
+                            f"pre-refactor golden run")
+    assert current == golden
+
+
+@pytest.fixture(scope="module")
+def golden_text() -> str:
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; capture it on a known-good commit with "
+        "`python -m repro.tiering.golden`")
+    return GOLDEN_PATH.read_text()
+
+
+def test_spec_dispatch_reproduces_pre_refactor_numbers(golden_text):
+    _compare(golden_json(), golden_text)

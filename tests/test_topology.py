@@ -134,11 +134,31 @@ def test_device_placement_collapses_on_one_node():
 def test_physmem_frame_numbers_recover_medium_and_node():
     pm = PhysicalMemory(topology=two_nodes())
     assert pm.num_nodes == 2
-    for medium in Medium:
+    for medium in (Medium.DRAM, Medium.PMEM):
         for node in (0, 1):
             frame = pm.alloc_frame(medium, node=node)
             assert pm.medium_of(frame) is medium
             assert pm.node_of(frame) == node
+
+
+def test_physmem_recovers_expander_media_too():
+    """Same round-trip on a machine with CXL and far-memory nodes;
+    each expander medium resolves to the node that carries it."""
+    topo = MachineTopology.with_kinds(MACHINE, ("ddr", "cxl", "far"))
+    pm = PhysicalMemory(topology=topo)
+    assert pm.media_present() == [Medium.DRAM, Medium.PMEM,
+                                  Medium.CXL, Medium.FAR]
+    for medium, node in ((Medium.DRAM, 0), (Medium.PMEM, 0),
+                         (Medium.CXL, 1), (Medium.FAR, 2)):
+        frame = pm.alloc_frame(medium, node=node)
+        assert pm.medium_of(frame) is medium
+        assert pm.node_of(frame) == node
+
+
+def test_physmem_refuses_absent_medium():
+    pm = PhysicalMemory(topology=two_nodes())
+    with pytest.raises(MemoryError_):
+        pm.alloc_frame(Medium.CXL, node=0)
 
 
 def test_physmem_local_policy_does_not_spill():
