@@ -587,6 +587,103 @@ def _perf_tiering(args):
           f"{resident if resident else 'all granules on the device tier'}")
 
 
+@perf_target("consolidate", "per-tenant breakdown + p99-vs-tenant-count "
+                            "knee on one consolidated machine")
+def _perf_consolidate(args):
+    """Where does per-tenant tail latency knee as tenants pile on?
+    Runs the apache mix at 1..``--tenants`` tenants (quotas off) for
+    the knee table, then one fully loaded machine with quotas *on*
+    and the antagonist hog for the per-tenant breakdown: requests,
+    p50/p99, throttle cycles, and each tenant's lock-wait and tenancy
+    ledger cycles."""
+    from repro.tenancy import consolidate_config, run_consolidate
+
+    requests = max(8, min(args.ops, 64))
+    counts = [n for n in (1, 2, 4, 8, 16, 32) if n <= args.tenants]
+    if counts[-1] != args.tenants:
+        counts.append(args.tenants)
+
+    def tenant_p99s(system, run, config):
+        rows = {}
+        for tenant in config.tenants:
+            if tenant.kind == "antagonist":
+                continue
+            hist = run.percentiles.get(f"tenant.{tenant.name}.request")
+            if hist is None:
+                # Degenerate single-tenant path: the un-tenanted
+                # apache runner observed the span histogram instead.
+                hist = run.percentiles.get("span.apache.request", {})
+            rows[tenant.name] = hist
+        return rows
+
+    knee = []
+    for n in counts:
+        system = _system(args)
+        config = consolidate_config(n, "apache", requests=requests)
+        run = run_consolidate(system, config)
+        hists = tenant_p99s(system, run, config)
+        p50s = [h.get("p50", 0.0) for h in hists.values()]
+        p99s = [h.get("p99", 0.0) for h in hists.values()]
+        knee.append({
+            "tenants": n,
+            "cycles": run.cycles,
+            "kops_per_sec": run.ops_per_second / 1e3,
+            "p50": sum(p50s) / max(1, len(p50s)),
+            "p99": max(p99s) if p99s else 0.0,
+        })
+
+    system = _system(args)
+    config = consolidate_config(args.tenants, "apache", quotas=True,
+                                antagonist=True, requests=requests)
+    run = run_consolidate(system, config)
+    runtime = system.tenancy
+    views = runtime.ledger_views()
+    hists = tenant_p99s(system, run, config)
+    breakdown = {}
+    for tenant in config.tenants:
+        view = views.get(tenant.name, {})
+        hist = hists.get(tenant.name, {})
+        breakdown[tenant.name] = {
+            "kind": tenant.kind,
+            "requests": system.stats.get(f"tenant.{tenant.name}.requests"),
+            "p50": hist.get("p50", 0.0),
+            "p99": hist.get("p99", 0.0),
+            "throttle_cycles": system.stats.get(
+                f"tenant.{tenant.name}.cpu_throttle_cycles"),
+            "peak_kernel_bytes": system.stats.get(
+                f"tenant.{tenant.name}.peak_kernel_bytes"),
+            "lock_wait_cycles": view.get("lock_wait", 0.0),
+            "tenancy_cycles": view.get("tenancy", 0.0),
+            "total_cycles": sum(view.values()),
+        }
+
+    if args.json:
+        print(json.dumps({"target": "consolidate", "media": args.media,
+                          "requests": requests, "knee": knee,
+                          "breakdown": breakdown},
+                         indent=2, sort_keys=True))
+        return
+    table = Table("Per-tenant latency vs tenant count (apache mix, "
+                  "no quotas)",
+                  ["tenants", "cycles", "Kops/s", "mean p50", "max p99"])
+    for row in knee:
+        table.add_row(row["tenants"], row["cycles"],
+                      round(row["kops_per_sec"], 3),
+                      round(row["p50"]), round(row["p99"]))
+    print(format_table(table))
+    table = Table(f"Fully loaded machine: {args.tenants} tenants + hog, "
+                  f"quotas on",
+                  ["tenant", "kind", "requests", "p50", "p99",
+                   "throttled cyc", "lock-wait cyc", "total cyc"])
+    for name, row in breakdown.items():
+        table.add_row(name, row["kind"], round(row["requests"]),
+                      round(row["p50"]), round(row["p99"]),
+                      round(row["throttle_cycles"]),
+                      round(row["lock_wait_cycles"]),
+                      round(row["total_cycles"]))
+    print(format_table(table))
+
+
 def _profile_table(result) -> Table:
     """Merge per-point cProfile tables into one sweep-wide top-N.
 
@@ -730,6 +827,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "of the manifest (CI smoke)")
     parser.add_argument("--max-sites", type=int, default=64,
                         help="fault sites to arm (with 'faults')")
+    parser.add_argument("--tenants", type=int, default=8,
+                        help="tenant count for 'perf consolidate' "
+                             "(knee runs 1..N, breakdown at N)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep execution")
     parser.add_argument("--point-timeout", type=float, default=None,

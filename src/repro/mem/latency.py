@@ -45,8 +45,17 @@ class SharedBandwidth:
     """
 
     def __init__(self, read_bw: float, write_bw: float, freq_hz: float):
+        self.read_bw = read_bw
+        self.write_bw = write_bw
+        self.freq_hz = freq_hz
         self._read = BandwidthThrottle(read_bw, freq_hz)
         self._write = BandwidthThrottle(write_bw, freq_hz)
+        #: Optional proportional-admission hook (duck-typed, installed
+        #: by repro.tenancy when quotas are on): ``extra_delay(pool,
+        #: read_bytes, write_bytes, now)`` rate-caps the *current
+        #: tenant's* traffic at its weighted share of the pool without
+        #: consuming anyone else's tokens.  ``None`` = unweighted.
+        self.admission = None
 
     def delay(self, read_bytes: float, write_bytes: float,
               now: float) -> float:
@@ -56,7 +65,15 @@ class SharedBandwidth:
             wait = max(wait, self._read.delay_for(int(read_bytes), now))
         if write_bytes:
             wait = max(wait, self._write.delay_for(int(write_bytes), now))
+        if self.admission is not None:
+            wait = max(wait, self.admission.extra_delay(
+                self, read_bytes, write_bytes, now))
         return wait
+
+    def bytes_moved(self) -> float:
+        """Cumulative bytes admitted through this pool (telemetry for
+        the tiering daemon's expander-side rate limiter)."""
+        return self._read.total_bytes + self._write.total_bytes
 
 
 class MemoryModel:
@@ -150,6 +167,11 @@ class MemoryModel:
         # Device frames past the modelled regions clamp to the last
         # node (mirrors PhysicalMemory.node_of for synthetic devices).
         return self._pools[min(node, len(self._pools) - 1)]
+
+    @property
+    def pools(self) -> List[Optional["SharedBandwidth"]]:
+        """Every per-node bandwidth pool (entries may be ``None``)."""
+        return list(self._pools)
 
     def device_delay(self, read_bytes: float, write_bytes: float,
                      now: float, node: int = 0) -> float:
@@ -320,9 +342,13 @@ class BandwidthThrottle:
             raise ValueError("throttle bandwidth must be positive")
         self.bytes_per_cycle = bytes_per_second / freq_hz
         self._paid_until = 0.0
+        #: Cumulative bytes charged through this bucket — pure
+        #: telemetry (never read back into pricing decisions here).
+        self.total_bytes = 0.0
 
     def delay_for(self, nbytes: int, now: float) -> float:
         """Cycles to wait (possibly 0) before moving ``nbytes`` now."""
+        self.total_bytes += nbytes
         cost_cycles = nbytes / self.bytes_per_cycle
         start = max(now, self._paid_until)
         self._paid_until = start + cost_cycles

@@ -202,6 +202,12 @@ class PhysicalMemory:
         #: persistent-capacity churn.  Passive — allocation behaviour
         #: is unchanged.
         self.persistence = None
+        #: Optional per-tenant frame accountant (duck-typed, installed
+        #: by repro.tenancy): ``charge_alloc(medium)`` runs *before* a
+        #: frame is handed out and may reclaim or refuse (cgroup
+        #: ``limits.memory`` semantics), ``note_alloc(frame)`` /
+        #: ``note_free(frame)`` track ownership.  ``None`` = untracked.
+        self.accountant = None
 
     @property
     def num_nodes(self) -> int:
@@ -245,6 +251,10 @@ class PhysicalMemory:
                                 if n != target]
         else:
             order = [node or 0]
+        if self.accountant is not None:
+            # May raise MemoryError_ when the requesting tenant is over
+            # its hard limit and reclaim could not free enough frames.
+            self.accountant.charge_alloc(medium)
         last_error: Optional[MemoryError_] = None
         for candidate in order:
             try:
@@ -254,6 +264,8 @@ class PhysicalMemory:
                 continue
             if self.persistence is not None and medium is Medium.PMEM:
                 self.persistence.note_pmem_frame(+1)
+            if self.accountant is not None:
+                self.accountant.note_alloc(frame)
             return frame
         raise last_error  # type: ignore[misc]
 
@@ -262,6 +274,8 @@ class PhysicalMemory:
         region.free_frame(frame)
         if self.persistence is not None and region.medium is Medium.PMEM:
             self.persistence.note_pmem_frame(-1)
+        if self.accountant is not None:
+            self.accountant.note_free(frame)
 
     # -- frame-number recovery ---------------------------------------------
     def medium_of(self, frame: int) -> Medium:

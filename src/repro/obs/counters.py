@@ -116,6 +116,20 @@ class Counter(enum.Enum):
     TIERING_MIGRATED_BYTES = "tiering.migrated_bytes"
     TIERING_WRITEBACK_BYTES = "tiering.writeback_bytes"
     TIERING_SHOOTDOWNS = "tiering.shootdowns"
+    TIERING_RATE_DEFERRED = "tiering.rate_limited_granules"
+
+    # -- Multi-tenant consolidation (tenancy/) ----------------------------
+    # Machine-wide totals; the per-tenant split uses namespaced string
+    # counters (``tenant.<name>.requests`` …) on the same Stats object.
+    TENANCY_REQUESTS = "tenancy.requests"
+    TENANCY_THINK_CYCLES = "tenancy.think_cycles"
+    TENANCY_THROTTLE_CYCLES = "tenancy.cpu_throttle_cycles"
+    TENANCY_QUOTA_SCANS = "tenancy.quota_scans"
+    TENANCY_SOFT_BREACHES = "tenancy.soft_limit_breaches"
+    TENANCY_HARD_FAILURES = "tenancy.hard_limit_failures"
+    TENANCY_RECLAIMED_FRAMES = "tenancy.reclaimed_frames"
+    TENANCY_BW_THROTTLE_CYCLES = "tenancy.bw_throttle_cycles"
+    TENANCY_ANTAGONIST_PAGES = "tenancy.antagonist_pages_dirtied"
 
     # -- Baselines ---------------------------------------------------------
     LATR_LAZY_INVALIDATIONS = "latr.lazy_invalidations"

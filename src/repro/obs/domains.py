@@ -61,6 +61,12 @@ class CostDomain(enum.Enum):
     #: copies, remaps and migration shootdown initiation.  Zero unless
     #: a tier overlay is attached (repro.tiering).
     TIERING = "tiering"
+    #: Multi-tenant consolidation costs: closed-loop think pauses,
+    #: cgroup-style CPU-share throttle stretch, quota-controller scans
+    #: and cross-tenant lock-wait attribution.  Zero unless an active
+    #: repro.tenancy runtime is attached (a single tenant with no
+    #: quotas installs nothing and charges nothing here).
+    TENANCY = "tenancy"
 
     def __str__(self) -> str:  # pragma: no cover - display aid
         return self.value
@@ -85,6 +91,7 @@ DOMAIN_ORDER = [
     CostDomain.FILETABLE,
     CostDomain.LOCK_WAIT,
     CostDomain.TIERING,
+    CostDomain.TENANCY,
     CostDomain.CRASH,
     CostDomain.FAULTS,
 ]

@@ -65,6 +65,11 @@ class SweepPoint:
     #: the worker's ``attach_tiering`` call.  Part of the payload,
     #: hence of the cache key.
     tiering: Dict[str, object] = field(default_factory=dict)
+    #: Tenancy shape for the point: ``{}`` = an un-tenanted machine;
+    #: otherwise a :meth:`repro.tenancy.TenancyConfig.to_state` dict —
+    #: consumed by the worker's ``attach_tenancy`` call.  Part of the
+    #: payload, hence of the cache key.
+    tenancy: Dict[str, object] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -91,6 +96,7 @@ class SweepPoint:
             "scheme": self.scheme,
             "node_kinds": self.node_kinds,
             "tiering": dict(self.tiering),
+            "tenancy": dict(self.tenancy),
         }
 
     @classmethod

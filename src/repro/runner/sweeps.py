@@ -452,6 +452,58 @@ def _tiering_sweep(*, ops: int, size: int, media: str, device_gib: int,
                  points=points, axis="tier")
 
 
+@point_runner("consolidate")
+def _consolidate_point(system: System) -> RunResult:
+    """One consolidated machine.  The tenant set, quotas and
+    antagonist all come from the point's ``tenancy`` payload (which
+    the worker already attached), so the tenancy shape is part of the
+    cache key by construction."""
+    from repro.errors import InvalidArgumentError
+    from repro.tenancy import run_consolidate
+
+    if system.tenancy is None:
+        raise InvalidArgumentError(
+            "consolidate points need a tenancy payload on the SweepPoint")
+    return run_consolidate(system)
+
+
+#: Tenant counts on the consolidation knee's x axis.
+CONSOLIDATE_TENANTS = (1, 2, 4, 8, 16)
+
+
+@sweep("consolidate", "tenant count x workload mix x quotas x antagonist")
+def _consolidate_sweep(*, ops: int, size: int, media: str,
+                       device_gib: int, aged: bool) -> Sweep:
+    """How does per-tenant p99 degrade as tenants pile onto one
+    machine?  Each mix runs 1..16 closed-loop tenants, with quota
+    enforcement on/off and with/without a stress-ng-style ``vm`` hog
+    on top.  Quotas-on points come first at each (n, mix, hog) cell so
+    a ``--max-points`` smoke always exercises enforcement.  The
+    single-tenant no-quota apache/predis/kvstore points take the
+    degenerate passive path and are golden-gated bit-identical to the
+    un-tenanted runners (``repro.tenancy.golden``)."""
+    from repro.tenancy import consolidate_config
+
+    requests = max(8, min(ops, 64))
+    points = []
+    for n in CONSOLIDATE_TENANTS:
+        for mix in ("apache", "predis", "kvstore"):
+            for antagonist in (False, True):
+                for quotas in (True, False):
+                    config = consolidate_config(
+                        n, mix, quotas=quotas, antagonist=antagonist,
+                        requests=requests)
+                    series = (f"{mix}+{'q' if quotas else 'noq'}"
+                              f"+{'hog' if antagonist else 'nohog'}")
+                    points.append(SweepPoint(
+                        experiment="consolidate", series=series, x=n,
+                        params={}, media=media, device_gib=device_gib,
+                        aged=aged, tenancy=config.to_state()))
+    return Sweep(name="consolidate",
+                 title="Consolidation: per-tenant p99 vs tenant count",
+                 points=points, axis="tenants")
+
+
 def build_sweep(name: str, *, ops: int, size: int, media: str,
                 device_gib: int, aged: bool) -> Sweep:
     """Expand a named sweep with the given CLI-level knobs."""

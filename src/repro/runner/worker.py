@@ -60,11 +60,22 @@ def _attach_tiering(system: System, spec: Dict[str, object]) -> None:
     daemon = bool(spec.get("daemon", False))
     knobs = {key: spec[key] for key in
              ("scan_interval", "hot_touches", "cold_scans",
-              "migrate_budget_bytes") if key in spec}
+              "migrate_budget_bytes", "bw_budget_fraction")
+             if key in spec}
     if "hot" in spec:
         knobs["hot_medium"] = Medium(spec["hot"])
     config = TieringConfig(**knobs) if (daemon and knobs) else None
     system.attach_tiering(data_medium=data, daemon=daemon, config=config)
+
+
+def _attach_tenancy(system: System, spec: Dict[str, object]) -> None:
+    """Rehydrate the point's ``tenancy`` dict (a ``TenancyConfig.
+    to_state`` payload) and attach the runtime.  Passive configs
+    attach without installing any hook, keeping the degenerate point
+    bit-identical to an un-tenanted run."""
+    from repro.tenancy import TenancyConfig
+
+    system.attach_tenancy(TenancyConfig.from_state(spec))
 
 
 #: Rows kept from a per-point profile (sorted by tottime).
@@ -123,6 +134,8 @@ def run_point(payload: Dict[str, object],
                     scheme=point.scheme)
     if point.tiering:
         _attach_tiering(system, point.tiering)
+    if point.tenancy:
+        _attach_tenancy(system, point.tenancy)
     profiler = None
     if profile:
         import cProfile

@@ -248,6 +248,15 @@ class SimThread:
         self.finished_at: Optional[float] = None
         self.result: Any = None
         self._wake_value: Any = None
+        #: Tenant this thread is accounted to (a name string), set by
+        #: the repro.tenancy runtime; ``None`` for un-tenanted threads.
+        self.tenant: Optional[str] = None
+        #: cgroup-style ``limits.cpu`` enforcement: an object with a
+        #: ``stretch(cycles) -> extra`` method and an ``event`` label
+        #: (repro.tenancy.CpuThrottle, duck-typed).  Every charge is
+        #: stretched by ``extra`` cycles booked to the ``tenancy``
+        #: domain; ``None`` (the default) leaves scheduling untouched.
+        self.cpu_throttle = None
         #: Wake values that arrived while this thread was not blocked
         #: (racing wakers); each satisfies one future ``Block()``.
         self._pending_wakes: deque = deque()
@@ -302,6 +311,10 @@ class Engine:
         #: Every lock constructed against this engine registers itself
         #: here so contention reports can enumerate them.
         self.locks: list = []
+        #: Optional ``thread_name -> tenant_name`` callable installed
+        #: by an active repro.tenancy runtime; locks consult it to
+        #: attribute cross-tenant waits.  ``None`` = un-tenanted.
+        self.tenant_resolver = None
 
     # -- thread management ------------------------------------------------
     def spawn(self, gen: KernelGen, core: Optional[int] = None,
@@ -349,6 +362,14 @@ class Engine:
             # whatever the interrupted thread was doing.
             for sdomain, sevent, took in stolen_entries:
                 ledger.record(thread.name, sdomain, sevent, took)
+        throttle = thread.cpu_throttle
+        if throttle is not None:
+            extra = throttle.stretch(cycles)
+            if extra > 0.0:
+                ledger.record(thread.name, CostDomain.TENANCY,
+                              throttle.event, extra)
+                self._schedule(thread, cycles + stolen + extra)
+                return
         self._schedule(thread, cycles + stolen)
 
     def _step(self, thread: SimThread) -> None:
@@ -408,6 +429,16 @@ class Engine:
             if stolen:
                 for sdomain, sevent, took in stolen_entries:
                     ledger.record(thread.name, sdomain, sevent, took)
+            throttle = thread.cpu_throttle
+            if throttle is not None:
+                extra = throttle.stretch(cycles)
+                if extra > 0.0:
+                    ledger.record(thread.name, CostDomain.TENANCY,
+                                  throttle.event, extra)
+                    heappush(self._heap,
+                             (self.now + cycles + stolen + extra,
+                              next(self._seq), thread))
+                    return
             heappush(self._heap,
                      (self.now + cycles + stolen, next(self._seq), thread))
         elif cls is ChargeSpan:
@@ -614,7 +645,11 @@ class Engine:
                     continue
             self.now = when
             self.events_processed += 1
-            if fast_forward and not heap:
+            if fast_forward and not heap and thread.cpu_throttle is None:
+                # Throttled tenant threads always take the classic
+                # path: the drain's tight loop has no stretch hook, and
+                # a sole-runnable throttled thread is rare enough that
+                # skipping the fast path costs nothing measurable.
                 self._drain(thread, limit, max_events)
                 continue
             # ``_step``'s body, inlined: this loop interprets every
@@ -660,6 +695,16 @@ class Engine:
                 if stolen:
                     for sdomain, sevent, took in stolen_entries:
                         ledger.record(thread.name, sdomain, sevent, took)
+                throttle = thread.cpu_throttle
+                if throttle is not None:
+                    extra = throttle.stretch(cycles)
+                    if extra > 0.0:
+                        ledger.record(thread.name, CostDomain.TENANCY,
+                                      throttle.event, extra)
+                        heappush(heap,
+                                 (self.now + cycles + stolen + extra,
+                                  next(seq), thread))
+                        continue
                 heappush(heap,
                          (self.now + cycles + stolen, next(seq), thread))
             elif cls is ChargeSpan:

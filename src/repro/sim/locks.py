@@ -67,6 +67,14 @@ class _LockBase:
         self.contended_acquisitions = 0
         self.total_wait_cycles = 0.0
         self.hold_cycles = 0.0
+        #: Name of the thread currently holding the lock (for readers,
+        #: the most recent grantee as a representative).  Captured when
+        #: a waiter blocks so its wait can be attributed to the holder
+        #: that caused it.
+        self._holder_name: Optional[str] = None
+        #: ``(waiting_tenant, holding_tenant) -> cycles`` matrix, only
+        #: populated when an engine tenant resolver is installed.
+        self.tenant_waits: Dict[Tuple[str, str], float] = {}
         registry = getattr(engine, "locks", None)
         if registry is not None:
             registry.append(self)
@@ -87,17 +95,41 @@ class _LockBase:
             return self._bounce_charge
         return self._entry_charge
 
-    def _record_wait(self, thread: SimThread, waited: float) -> None:
+    def _record_wait(self, thread: SimThread, waited: float,
+                     blocker: Optional[str] = None) -> None:
         """Book blocked time both locally and in the engine ledger.
 
         Blocked time never passes through a ``Charge`` effect (the
         thread is suspended, not computing), so the lock attributes it
-        to the ``lock_wait`` domain directly."""
+        to the ``lock_wait`` domain directly.
+
+        ``blocker`` is the holder's thread name captured when the
+        waiter blocked.  Under an active tenancy runtime (the engine
+        carries a ``tenant_resolver``) the wait is additionally booked
+        against the *waiting* tenant's ledger view in the ``tenancy``
+        domain with the holding tenant named in the event — so a
+        tenant stalled behind another tenant's writer shows up in that
+        tenant's breakdown instead of vanishing into a global lock
+        total.  Un-tenanted runs record nothing extra (bit-identical).
+        """
         self.total_wait_cycles += waited
         ledger = getattr(self.engine, "ledger", None)
-        if ledger is not None:
-            ledger.record(thread.name, CostDomain.LOCK_WAIT,
-                          self._blocked_event, waited)
+        if ledger is None:
+            return
+        ledger.record(thread.name, CostDomain.LOCK_WAIT,
+                      self._blocked_event, waited)
+        resolver = getattr(self.engine, "tenant_resolver", None)
+        if resolver is None:
+            return
+        waiter_tenant = resolver(thread.name)
+        if waiter_tenant is None:
+            return
+        holder_tenant = resolver(blocker) if blocker else None
+        holder_label = holder_tenant or blocker or "unknown"
+        key = (waiter_tenant, holder_label)
+        self.tenant_waits[key] = self.tenant_waits.get(key, 0.0) + waited
+        ledger.record(thread.name, CostDomain.TENANCY,
+                      f"{self.name}-blocked-by:{holder_label}", waited)
 
     @property
     def contention_ratio(self) -> float:
@@ -107,7 +139,7 @@ class _LockBase:
 
     def report(self) -> Dict[str, float]:
         """Wait-vs-hold summary for contention reports (Fig. 8a)."""
-        return {
+        out = {
             "name": self.name,
             "kind": self.__class__.__name__,
             "acquisitions": self.acquisitions,
@@ -116,6 +148,12 @@ class _LockBase:
             "wait_cycles": self.total_wait_cycles,
             "hold_cycles": self.hold_cycles,
         }
+        if self.tenant_waits:
+            out["tenant_waits"] = {
+                f"{waiter}<-{holder}": cycles
+                for (waiter, holder), cycles
+                in sorted(self.tenant_waits.items())}
+        return out
 
 
 class Spinlock(_LockBase):
@@ -134,12 +172,15 @@ class Spinlock(_LockBase):
         if not self._held:
             self._held = True
             self._held_since = self.engine.now
+            self._holder_name = thread.name
             return
         self.contended_acquisitions += 1
         start = self.engine.now
+        blocker = self._holder_name
         self._waiters.append(thread)
         yield Block()
-        self._record_wait(thread, self.engine.now - start)
+        self._record_wait(thread, self.engine.now - start, blocker)
+        self._holder_name = thread.name
 
     def release(self):
         if not self._held:
@@ -155,6 +196,7 @@ class Spinlock(_LockBase):
             yield Wake(waiter, delay=self.costs.lock_bounce)
         else:
             self._held = False
+            self._holder_name = None
         yield _ZERO_COMPUTE
 
     @property
@@ -210,7 +252,8 @@ class RWSemaphore(_LockBase):
                 return False
         return True
 
-    def _grant(self, kind: str, at: Optional[float] = None) -> None:
+    def _grant(self, kind: str, at: Optional[float] = None,
+               thread: Optional[SimThread] = None) -> None:
         """Record a grant starting at ``at`` (default: now).
 
         A contended handoff wakes the waiter ``lock_bounce`` cycles
@@ -231,20 +274,23 @@ class RWSemaphore(_LockBase):
                 self._read_since = now
             self._active_readers += 1
             self.read_acquisitions += 1
+        if thread is not None:
+            self._holder_name = thread.name
 
     def _acquire(self, kind: str):
         thread = self._current()
         yield self._entry_effect(thread)
         self.acquisitions += 1
         if self._can_grant(kind):
-            self._grant(kind)
+            self._grant(kind, thread=thread)
             return
         self.contended_acquisitions += 1
         start = self.engine.now
+        blocker = self._holder_name
         self._queue.append((thread, kind))
         yield Block()
         waited = self.engine.now - start
-        self._record_wait(thread, waited)
+        self._record_wait(thread, waited, blocker)
         if kind == RWSemaphore.WRITE:
             self.write_wait_cycles += waited
         else:
@@ -270,14 +316,14 @@ class RWSemaphore(_LockBase):
                 if self._writer_active or self._active_readers:
                     break
                 self._queue.popleft()
-                self._grant(kind, at=handoff)
+                self._grant(kind, at=handoff, thread=thread)
                 yield Wake(thread, delay=self.costs.lock_bounce)
                 break  # writer is exclusive
             # Reader at head: admit it and any consecutive readers.
             if self._writer_active:
                 break
             self._queue.popleft()
-            self._grant(kind, at=handoff)
+            self._grant(kind, at=handoff, thread=thread)
             yield Wake(thread, delay=self.costs.lock_bounce)
 
     def release_read(self):
@@ -290,6 +336,8 @@ class RWSemaphore(_LockBase):
             self.hold_cycles += held
         if self._queue:
             yield from self._wake_eligible()
+        if not self._writer_active and self._active_readers == 0:
+            self._holder_name = None
         yield _ZERO_COMPUTE
 
     def release_write(self):
@@ -301,6 +349,8 @@ class RWSemaphore(_LockBase):
         self.hold_cycles += held
         if self._queue:
             yield from self._wake_eligible()
+        if not self._writer_active and self._active_readers == 0:
+            self._holder_name = None
         yield _ZERO_COMPUTE
 
     def report(self) -> Dict[str, float]:

@@ -120,6 +120,8 @@ class System:
         self.faults = None
         #: Attached :class:`repro.tiering.TieringDaemon`, if any.
         self.tiering = None
+        #: Attached :class:`repro.tenancy.TenancyRuntime`, if any.
+        self.tenancy = None
 
     def _make_pools(self) -> "list[SharedBandwidth]":
         """One aggregate PMem bandwidth pool per socket.  The machine
@@ -294,6 +296,21 @@ class System:
             self.tiering.start(core=core if core is not None
                                else self.engine.cores[-1].index)
         return tiers
+
+    # -- multi-tenant consolidation ------------------------------------------
+    def attach_tenancy(self, config):
+        """Attach a :class:`repro.tenancy.TenancyRuntime` for
+        ``config`` and install its enforcement hooks.
+
+        Passive configs (one plain tenant, no quotas) install nothing
+        — the machine stays bit-identical to an un-tenanted one (the
+        ``tenancy_equivalence`` golden gate).  Returns the runtime.
+        """
+        from repro.tenancy import TenancyRuntime
+
+        self.tenancy = TenancyRuntime(self, config)
+        self.tenancy.install()
+        return self.tenancy
 
     def seconds(self, cycles: Optional[float] = None) -> float:
         value = self.engine.now if cycles is None else cycles

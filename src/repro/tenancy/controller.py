@@ -1,0 +1,285 @@
+"""Quota enforcement: CPU throttles, frame accounting, bandwidth WFQ.
+
+Three cgroup-analog mechanisms, each wired into an existing hook on
+the layer it polices:
+
+* :class:`CpuThrottle` — installed on ``SimThread.cpu_throttle``; the
+  engine stretches every cycle the thread charges by ``1/share - 1``
+  and books the stretch to the ``tenancy`` cost domain (CFS bandwidth
+  control, priced as lost wall-clock rather than modelled as a
+  runqueue).
+* :class:`TenantAccountant` — installed on ``PhysicalMemory.
+  accountant``; tracks which tenant owns each dynamically allocated
+  frame (page-table pages, DaxVM ephemeral pools, kernel metadata)
+  and, when enforcing, implements ``limits.memory`` reclaim-or-fail.
+* :class:`BandwidthAdmission` — installed on each ``SharedBandwidth``
+  pool; weighted-fair admission via a per-(tenant, pool) token bucket
+  sized at the tenant's weight share of the pool.  The sub-bucket
+  only *delays* the tenant — it never charges the shared bucket, so a
+  throttled tenant cannot push other tenants' ``_paid_until`` out.
+
+:class:`QuotaController` is the kthread that periodically scans
+usage, counts soft (``requests.memory``) breaches and publishes the
+per-tenant gauges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import MemoryError_, SimulationError
+from repro.mem.latency import BandwidthThrottle
+from repro.obs import CostDomain, charge
+from repro.obs.counters import Counter
+from repro.tenancy.spec import TenantSpec
+
+FRAME_SIZE = 4096
+
+
+class QuotaError(MemoryError_):
+    """A tenant breached ``limits.memory`` and reclaim fell short."""
+
+
+class QuotaAccountingError(SimulationError):
+    """Internal quota books disagree — a charge was lost or doubled."""
+
+
+class CpuThrottle:
+    """Per-thread ``limits.cpu`` stretch factor.
+
+    Duck-typed against the engine hook: ``stretch(cycles)`` returns
+    the extra cycles to serialize after a charge, ``event`` labels the
+    ledger entry.  A share of 1.0 builds a zero-rate throttle that
+    returns 0.0 extra — callers should simply not install one.
+    """
+
+    __slots__ = ("share", "rate", "event", "throttled_cycles")
+
+    def __init__(self, share: float, event: str = "cpu-throttle"):
+        if not 0.0 < share <= 1.0:
+            raise QuotaAccountingError(
+                f"cpu share must be in (0, 1], got {share}")
+        self.share = share
+        self.rate = 1.0 / share - 1.0
+        self.event = event
+        self.throttled_cycles = 0.0
+
+    def stretch(self, cycles: float) -> float:
+        extra = cycles * self.rate
+        if extra > 0.0:
+            self.throttled_cycles += extra
+        return extra
+
+
+class TenantAccountant:
+    """Per-tenant physical-frame books on the global allocator.
+
+    Ownership is charged to the *allocating thread's* tenant (the
+    ``engine.current`` at ``alloc_frame`` time) and released to
+    whichever tenant owns the frame, whoever frees it — so shared
+    teardown (daemons reaping another tenant's zombies) never
+    corrupts the books.  Frames allocated outside any tenant context
+    (boot, filegen) are untracked, exactly like kernel boot pages
+    sitting outside every cgroup.
+    """
+
+    def __init__(self, engine, stats, specs: Dict[str, TenantSpec]):
+        self.engine = engine
+        self.stats = stats
+        self.specs = dict(specs)
+        self.frames: Dict[str, int] = {name: 0 for name in self.specs}
+        self.peak_frames: Dict[str, int] = {name: 0 for name in self.specs}
+        self._owner: Dict[int, str] = {}
+        #: Per-tenant reclaim callbacks: ``fn(frames_needed) -> freed``.
+        #: Callbacks free frames through ``physmem.free_frame`` so the
+        #: books update through the normal path.
+        self.reclaimers: Dict[str, List[Callable[[int], int]]] = {}
+        #: Hard-limit enforcement armed (quotas on)?
+        self.enforcing = False
+        self.hard_failures = 0
+        self.reclaimed_frames = 0
+
+    # -- identity -----------------------------------------------------------
+    def _current_tenant(self) -> Optional[str]:
+        thread = self.engine.current
+        if thread is None:
+            return None
+        tenant = getattr(thread, "tenant", None)
+        return tenant if tenant in self.specs else None
+
+    # -- PhysicalMemory hook ------------------------------------------------
+    def charge_alloc(self, medium) -> None:
+        """Gate one frame allocation against ``limits.memory``.
+
+        Runs *before* the frame is handed out.  Over the hard limit:
+        run the tenant's reclaimers; if the books still show no
+        headroom, refuse (the cgroup OOM analog).
+        """
+        if not self.enforcing:
+            return
+        tenant = self._current_tenant()
+        if tenant is None:
+            return
+        spec = self.specs[tenant]
+        if spec.memory_limit <= 0:
+            return
+        limit = spec.memory_limit // FRAME_SIZE
+        if self.frames[tenant] < limit:
+            return
+        needed = self.frames[tenant] - limit + 1
+        freed = 0
+        for reclaim in self.reclaimers.get(tenant, ()):
+            freed += int(reclaim(needed - freed))
+            if self.frames[tenant] < limit:
+                break
+        if freed > 0:
+            self.reclaimed_frames += freed
+            self.stats.add(Counter.TENANCY_RECLAIMED_FRAMES, freed)
+        if self.frames[tenant] >= limit:
+            self.hard_failures += 1
+            self.stats.add(Counter.TENANCY_HARD_FAILURES)
+            raise QuotaError(
+                f"tenant {tenant}: limits.memory "
+                f"({spec.memory_limit} B = {limit} frames) exceeded and "
+                f"reclaim freed only {freed} frames")
+
+    def note_alloc(self, frame: int) -> None:
+        tenant = self._current_tenant()
+        if tenant is None:
+            return
+        self._owner[frame] = tenant
+        used = self.frames[tenant] + 1
+        self.frames[tenant] = used
+        if used > self.peak_frames[tenant]:
+            self.peak_frames[tenant] = used
+
+    def note_free(self, frame: int) -> None:
+        tenant = self._owner.pop(frame, None)
+        if tenant is not None:
+            self.frames[tenant] -= 1
+
+    # -- queries ------------------------------------------------------------
+    def usage_bytes(self, tenant: str) -> int:
+        return self.frames.get(tenant, 0) * FRAME_SIZE
+
+    def peak_bytes(self, tenant: str) -> int:
+        return self.peak_frames.get(tenant, 0) * FRAME_SIZE
+
+    def register_reclaimer(self, tenant: str,
+                           fn: Callable[[int], int]) -> None:
+        self.reclaimers.setdefault(tenant, []).append(fn)
+
+    def audit(self) -> None:
+        """Cross-check the books; raises QuotaAccountingError on drift."""
+        counts: Dict[str, int] = {name: 0 for name in self.specs}
+        for tenant in self._owner.values():
+            counts[tenant] = counts.get(tenant, 0) + 1
+        for tenant, used in self.frames.items():
+            if used < 0:
+                raise QuotaAccountingError(
+                    f"tenant {tenant}: negative frame count {used}")
+            if used != counts.get(tenant, 0):
+                raise QuotaAccountingError(
+                    f"tenant {tenant}: frame counter {used} != "
+                    f"{counts.get(tenant, 0)} owned frames")
+
+
+class BandwidthAdmission:
+    """Weighted-fair admission into shared device-bandwidth pools.
+
+    Each (tenant, pool) pair gets a private token bucket sized at the
+    tenant's weight share of the pool.  ``extra_delay`` returns how
+    much *longer* than the shared-pool delay the requester must wait;
+    the pool takes ``max(shared, admission)`` so an uncontended heavy
+    tenant is clipped to its share while light tenants sail through.
+    """
+
+    def __init__(self, engine, stats, weights: Dict[str, float]):
+        total = sum(weights.values())
+        self.engine = engine
+        self.stats = stats
+        self.shares = {name: weight / total
+                       for name, weight in weights.items()}
+        self._buckets: Dict[Tuple[int, str],
+                            Tuple[BandwidthThrottle, BandwidthThrottle]] = {}
+        self.throttled_cycles = 0.0
+
+    def extra_delay(self, pool, read_bytes: float, write_bytes: float,
+                    now: float) -> float:
+        thread = self.engine.current
+        tenant = getattr(thread, "tenant", None) if thread else None
+        if tenant is None:
+            return 0.0
+        share = self.shares.get(tenant)
+        if share is None or share >= 1.0:
+            return 0.0
+        key = (id(pool), tenant)
+        buckets = self._buckets.get(key)
+        if buckets is None:
+            buckets = (BandwidthThrottle(pool.read_bw * share,
+                                         pool.freq_hz),
+                       BandwidthThrottle(pool.write_bw * share,
+                                         pool.freq_hz))
+            self._buckets[key] = buckets
+        wait = 0.0
+        if read_bytes:
+            wait = max(wait, buckets[0].delay_for(int(read_bytes), now))
+        if write_bytes:
+            wait = max(wait, buckets[1].delay_for(int(write_bytes), now))
+        if wait > 0.0:
+            self.throttled_cycles += wait
+            self.stats.add(Counter.TENANCY_BW_THROTTLE_CYCLES, wait)
+        return wait
+
+
+class QuotaController:
+    """The quota-controller kthread (one per consolidated machine).
+
+    Wakes every ``scan_interval`` cycles, samples each tenant's frame
+    usage, counts ``requests.memory`` breaches and publishes the
+    per-tenant gauges as timeline samples.  Scans are priced into the
+    ``tenancy`` domain so controller overhead shows up in the books
+    rather than being free.
+    """
+
+    #: Cycles one scan costs per tenant examined.
+    SCAN_COST_PER_TENANT = 4_000.0
+
+    def __init__(self, engine, stats, accountant: TenantAccountant,
+                 specs: Dict[str, TenantSpec],
+                 scan_interval: float = 2.0e6):
+        self.engine = engine
+        self.stats = stats
+        self.accountant = accountant
+        self.specs = dict(specs)
+        self.scan_interval = scan_interval
+        self.scans = 0
+        self.soft_breaches: Dict[str, int] = {name: 0 for name in specs}
+        self._thread = None
+
+    def start(self, core: int = 0) -> None:
+        self._thread = self.engine.spawn(
+            self._run(), core=core, name="quota-kthread", daemon=True)
+
+    def _run(self):
+        while True:
+            yield charge(CostDomain.TENANCY, "quota-scan-idle",
+                         self.scan_interval)
+            self.scan()
+            yield charge(CostDomain.TENANCY, "quota-scan",
+                         self.SCAN_COST_PER_TENANT * len(self.specs))
+
+    def scan(self) -> None:
+        """One scan: pure bookkeeping (priced by the caller)."""
+        self.scans += 1
+        self.stats.add(Counter.TENANCY_QUOTA_SCANS)
+        now = self.engine.now
+        for name in sorted(self.specs):
+            spec = self.specs[name]
+            usage = self.accountant.usage_bytes(name)
+            self.stats.sample(f"tenant.{name}.memory_bytes", now,
+                              float(usage))
+            if spec.memory_request and usage > spec.memory_request:
+                self.soft_breaches[name] += 1
+                self.stats.add(Counter.TENANCY_SOFT_BREACHES)
+                self.stats.add(f"tenant.{name}.soft_breaches")

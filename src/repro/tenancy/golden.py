@@ -1,0 +1,94 @@
+"""The tenancy-equivalence golden: un-tenanted vs degenerate tenancy.
+
+The consolidation subsystem hangs hooks on hot paths — an accountant
+on the frame allocator, admission on the bandwidth pools, a throttle
+check in the engine's charge path, holder tracking in the locks.  The
+promise that buys them in: a machine running **one** plain tenant
+with no quotas and no antagonist is *bit-identical* to a machine that
+never heard of tenants.
+
+This module pins that promise the honest way.  The golden file is
+captured from the **un-tenanted** runners — ``run_apache`` /
+``run_predis`` / ``run_ycsb`` called directly, no tenancy attached,
+no hook installed — for the three single-tenant no-quota points of
+the ``consolidate`` sweep.  ``tests/test_tenancy_golden.py`` replays
+the same points through the full sweep path
+(``worker.run_point`` with the tenancy payload attached, i.e. the
+degenerate passive path) and byte-compares the states.
+
+``python -m repro.tenancy.golden`` recaptures the file; do that only
+when a PR intentionally changes simulated costs, and say so in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+GOLDEN_PATH = (Path(__file__).resolve().parents[3]
+               / "tests" / "golden" / "tenancy_equivalence.json")
+
+#: Builder knobs for the pinned consolidate sweep (match the CI
+#: smoke's machine shape: optane, 1 GiB device, aged image).
+KNOBS = {"ops": 8, "size": 64 << 10, "media": "optane",
+         "device_gib": 1, "aged": True}
+
+
+def pinned_points() -> List:
+    """The degenerate points: one tenant, no quotas, no antagonist —
+    one per workload mix (these take the passive path)."""
+    from repro.runner.sweeps import build_sweep
+
+    sweep = build_sweep("consolidate", **KNOBS)
+    return [point for point in sweep.points
+            if point.x == 1 and point.series.endswith("noq+nohog")]
+
+
+def golden_states() -> Dict[str, object]:
+    """Run every pinned point through the *un-tenanted* runners.
+
+    Mirrors :func:`repro.runner.worker.run_point` — same machine
+    build, same naming-counter reset, same result state — except that
+    no tenancy is attached and the original workload runner is called
+    directly.  What this captures is, verbatim, the simulator's
+    output before the tenancy subsystem existed.
+    """
+    from repro.config import MEDIA_PRESETS
+    from repro.runner.manifest import result_state
+    from repro.runner.worker import _reset_naming_counters
+    from repro.system import System
+    from repro.tenancy.runtime import _run_untenanted
+    from repro.tenancy.spec import TenancyConfig
+
+    out: Dict[str, object] = {}
+    for point in pinned_points():
+        config = TenancyConfig.from_state(point.tenancy)
+        assert config.passive, "pinned points must be degenerate"
+        _reset_naming_counters()
+        costs = MEDIA_PRESETS[point.media]()
+        system = System(costs=costs,
+                        device_bytes=point.device_gib << 30,
+                        aged=point.aged, scheme=point.scheme)
+        run = _run_untenanted(system, config.tenants[0])
+        locks = [lock.report() for lock in system.engine.locks
+                 if lock.acquisitions]
+        state = result_state(run, system.stats, system.ledger,
+                             locks, 0.0)
+        out[point.label] = {k: v for k, v in state.items()
+                            if k != "wall_seconds"}
+    return out
+
+
+def golden_json() -> str:
+    return json.dumps(golden_states(), indent=2, sort_keys=True) + "\n"
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(golden_json())
+    print(f"captured {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

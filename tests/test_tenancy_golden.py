@@ -1,0 +1,61 @@
+"""The single-tenant bit-identicality gate of the tenancy subsystem.
+
+DESIGN.md §14 promises that consolidating the machine cost nothing
+when nothing is consolidated: one plain tenant, no quotas, no
+antagonist must execute *bit-identically* to a machine without the
+tenancy subsystem.  The golden file was captured from the un-tenanted
+runners (``python -m repro.tenancy.golden``); this test replays the
+same points two ways —
+
+* the capture path itself (un-tenanted runners, no hooks), guarding
+  against cost drift in the plain workloads; and
+* the **full sweep path**: ``worker.run_point`` with the point's
+  tenancy payload attached, i.e. ``System.attach_tenancy`` plus the
+  passive degenerate dispatch inside :func:`repro.tenancy.runtime.
+  run_consolidate` —
+
+and byte-compares the complete observable state (cycles, counters,
+ledger attribution, lock reports) against the golden.
+
+If this fails, some tenancy hook (engine throttle check, frame
+accountant, bandwidth admission, lock holder tracking) leaked cost or
+state into the un-tenanted path.  Recapture only when a PR
+intentionally changes simulated numbers, and say so in the PR.
+"""
+
+import json
+
+import pytest
+
+from repro.runner.worker import run_point
+from repro.tenancy.golden import GOLDEN_PATH, golden_json, pinned_points
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; capture it on a known-good commit with "
+        "`python -m repro.tenancy.golden`")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_untenanted_capture_matches_golden(golden):
+    assert json.loads(golden_json()) == golden
+
+
+def test_degenerate_tenancy_point_is_bit_identical(golden):
+    """The sweep path with a passive tenancy attached == the
+    un-tenanted machine, byte for byte."""
+    points = pinned_points()
+    assert sorted(p.label for p in points) == sorted(golden)
+    for point in points:
+        assert point.tenancy, "pinned points must carry tenancy payloads"
+        state = run_point(point.to_payload())
+        state.pop("wall_seconds", None)
+        reference = golden[point.label]
+        for field in ("run", "stats", "ledger", "locks"):
+            assert state[field] == reference[field], (
+                f"{point.label}.{field}: the degenerate tenancy path "
+                f"drifted from the un-tenanted machine")
+        assert (json.dumps(state, sort_keys=True)
+                == json.dumps(reference, sort_keys=True))
