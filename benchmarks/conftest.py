@@ -25,7 +25,7 @@ from repro.system import System
 
 #: Per-bench instrumentation records (one JSON list for the whole
 #: session), written next to the repo root.
-BENCH_LOG = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+BENCH_LOG = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
 _records: list = []
 
 

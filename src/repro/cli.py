@@ -309,6 +309,36 @@ def _faults(args):
             f"violation(s) across {summary.sites_explored} sites")
 
 
+@experiment("migrate", "crash/fault hardening audit of post-copy live "
+                       "migration")
+def _migrate(args):
+    from repro.virt import run_migrate_audit
+
+    summary = run_migrate_audit(
+        seeds=(args.seed, args.seed + 1),
+        max_points=args.max_points, max_sites=args.max_sites,
+        composed_points=max(2, min(args.max_points, 6)),
+        media=args.media, device_gib=args.device)
+    if args.json:
+        print(json.dumps(summary.to_state(), indent=2, sort_keys=True))
+    else:
+        state = summary.to_state()
+        table = Table(
+            f"Migration hardening audit, seeds {summary.seeds}, "
+            f"trigger after {summary.migrate_after} accesses",
+            ["metric", "value"])
+        for key in ("crash_points", "fault_sites", "composed_points",
+                    "points_explored", "violations"):
+            table.add_row(key, state[key])
+        print(format_table(table))
+        for line in summary.violations:
+            print(f"VIOLATION: {line}")
+    if summary.violations:
+        raise SystemExit(
+            f"migrate: {len(summary.violations)} invariant violation(s) "
+            f"across {summary.points_explored} points")
+
+
 @perf_target("fig7", "per-domain cycle breakdown of ext4-DAX appends")
 def _perf_fig7(args):
     """Where do mmap-append cycles go?  The ledger answers directly:
@@ -682,6 +712,80 @@ def _perf_consolidate(args):
                       round(row["lock_wait_cycles"]),
                       round(row["total_cycles"]))
     print(format_table(table))
+
+
+@perf_target("migrate", "guest overheads: pass-through identity, nested "
+                        "walks, migration downtime and pull traffic")
+def _perf_migrate(args):
+    """What does each layer of the hypervisor cost?  Runs the guest
+    workload bare, under a pass-through hypervisor (must be
+    bit-identical), with nested walk pricing, with a full post-copy
+    migration (prefetch on/off) and in forced-degraded mode, and
+    reports downtime, pull traffic and the ledger's virt domain."""
+    from repro.crash.workloads import CRASH_WORKLOADS
+    from repro.runner.worker import _reset_naming_counters
+    from repro.virt import VirtConfig, run_migrate
+
+    workload = args.workload if args.workload in CRASH_WORKLOADS \
+        else "syncbench"
+    variants = [
+        ("bare", None),
+        ("passive", VirtConfig()),
+        ("nested", VirtConfig(nested=True)),
+        ("migrate+prefetch", VirtConfig(nested=True, migrate=True,
+                                        migrate_after=24, seed=args.seed)),
+        ("migrate+noprefetch", VirtConfig(nested=True, migrate=True,
+                                          migrate_after=24, prefetch=False,
+                                          seed=args.seed)),
+        ("degraded", VirtConfig(nested=True, migrate=True,
+                                migrate_after=24, force_degraded=True,
+                                seed=args.seed)),
+    ]
+    rows = {}
+    for name, config in variants:
+        _reset_naming_counters()
+        system = _system(args)
+        if config is None:
+            CRASH_WORKLOADS[workload](system)
+            rows[name] = {"cycles": system.engine.now, "virt_cycles": 0.0,
+                          "downtime": 0.0, "pulled": 0.0,
+                          "prefetched": 0.0, "retries": 0.0,
+                          "degraded": 0.0, "completed": 0.0,
+                          "aborted": 0.0}
+            continue
+        system.attach_hypervisor(config)
+        r = run_migrate(system, workload)
+        rows[name] = {
+            "cycles": r.cycles,
+            "virt_cycles": r.domains.get("virt", 0.0),
+            "downtime": r.counters["virt.downtime_cycles"],
+            "pulled": r.counters["virt.pages_pulled"],
+            "prefetched": r.counters["virt.prefetched_pages"],
+            "retries": r.counters["virt.pull_retries"],
+            "degraded": r.counters["virt.degraded_accesses"],
+            "completed": r.counters["virt.migrations_completed"],
+            "aborted": r.counters["virt.migrations_aborted"],
+        }
+    identical = rows["passive"]["cycles"] == rows["bare"]["cycles"]
+    if args.json:
+        print(json.dumps({"target": "migrate", "workload": workload,
+                          "media": args.media,
+                          "passive_identical": identical, "rows": rows},
+                         indent=2, sort_keys=True))
+        return
+    table = Table(f"Hypervisor layers over {workload} ({args.media})",
+                  ["variant", "cycles", "virt cyc", "downtime",
+                   "pulled", "prefetched", "retries", "degraded",
+                   "done/abort"])
+    for name, row in rows.items():
+        table.add_row(name, row["cycles"], round(row["virt_cycles"]),
+                      round(row["downtime"]), round(row["pulled"]),
+                      round(row["prefetched"]), round(row["retries"]),
+                      round(row["degraded"]),
+                      f"{row['completed']:.0f}/{row['aborted']:.0f}")
+    print(format_table(table))
+    print(f"pass-through guest bit-identical to bare machine: "
+          f"{'yes' if identical else 'NO'}")
 
 
 def _profile_table(result) -> Table:

@@ -297,6 +297,49 @@ class CostModel:
     clear_poison_per_block: float = 40000.0
 
     # ------------------------------------------------------------------
+    # Guest VMs and post-copy live migration (repro.virt; charged only
+    # when a hypervisor is attached).  The link numbers model a
+    # dedicated inter-machine migration channel (RDMA-class NIC or a
+    # cross-socket interconnect lane); nested-walk pricing reuses the
+    # Table II walk constants through TranslationScheme.nested_walk_cost.
+    # ------------------------------------------------------------------
+    #: Hypervisor exit + world-switch overhead charged per guest
+    #: access window that traps into the host (post-copy pulls,
+    #: degraded remote access).
+    vmexit_cost: float = 1200.0
+    #: One-way propagation latency of the migration link, cycles
+    #: (~1.5 us: an RDMA round between adjacent racks).
+    migrate_link_latency: float = 4000.0
+    #: Streaming bandwidth of the migration link, bytes/second.
+    migrate_link_bw: float = 3.0e9
+    #: Minimal device state shipped during the pause (vCPU registers,
+    #: device model, the guest-physical map — not the pages).
+    migrate_handover_bytes: int = 256 << 10
+    #: Downtime budget for the pause phase, cycles; the audit flags a
+    #: migration whose booked downtime exceeds this (~2 ms).
+    migrate_downtime_budget: float = 5.4e6
+    #: A demand pull that stalls longer than this is timed out and
+    #: retried (seeded in-sim backoff).
+    migrate_pull_timeout: float = 300000.0
+    #: Retry ladder: base backoff for attempt ``n`` is
+    #: ``migrate_retry_backoff * 2**n`` cycles, jittered by the seed.
+    migrate_retry_backoff: float = 20000.0
+    #: Pulls that still stall after this many retries flip the job
+    #: into degraded mode (then abort-and-rollback).
+    migrate_max_pull_retries: int = 3
+    #: Degraded mode prices unpulled-page accesses as remote accesses
+    #: across the link at this latency multiplier over a local PMem
+    #: load (the guest limps, it does not lose data).
+    migrate_degraded_factor: float = 4.0
+    #: Degraded accesses tolerated before the job aborts and rolls
+    #: back to the source.
+    migrate_degraded_budget: int = 64
+    #: Pages the background prefetch kthread pulls per batch.
+    migrate_prefetch_batch: int = 16
+    #: Idle cycles the prefetch kthread sleeps between batches.
+    migrate_prefetch_interval: float = 150000.0
+
+    # ------------------------------------------------------------------
     # DaxVM policies (paper Sections IV-A..IV-E).
     # ------------------------------------------------------------------
     #: Files up to this size keep volatile (DRAM) file tables.

@@ -127,6 +127,8 @@ class DaxVM:
         attach_cost = self._attach(vma, table, granule)
         yield charge(CostDomain.FILETABLE, "attach", attach_cost)
         inode.i_mmap.append(vma)
+        if self.mm.guest is not None:
+            self.mm.guest.note_mapping(vma)
 
         if ephemeral:
             self.ephemeral.record(vma)

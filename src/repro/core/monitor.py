@@ -39,6 +39,12 @@ class MMUMonitor:
         self._last_time = 0.0
         self.evaluations = 0
         self.triggers = 0
+        #: Optional ``inode -> bool`` predicate: inodes it approves are
+        #: *skipped* by table migration.  A hypervisor quiesces table
+        #: movement for files under an active post-copy migration —
+        #: re-pointing attachments mid-pull would race the pulled-page
+        #: bookkeeping (repro.virt sets and clears this).
+        self.defer = None
 
     def sample(self) -> Tuple[float, float]:
         """Windowed (AvgPageWalk, MMU overhead) since the last sample."""
@@ -73,6 +79,9 @@ class MMUMonitor:
             return 0.0
         self.triggers += 1
         cycles = 0.0
+        defer = self.defer
         for inode in mapped_inodes:
+            if defer is not None and defer(inode):
+                continue
             cycles += self.filetables.migrate_to_dram(inode)
         return cycles

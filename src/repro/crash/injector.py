@@ -29,7 +29,9 @@ from repro.analysis.results import RunResult
 from repro.crash.checker import CrashPointOutcome, RecoveryChecker
 from repro.crash.domain import CrashTriggered, PersistenceDomain
 from repro.crash.workloads import CRASH_WORKLOADS
-from repro.errors import InvalidArgumentError
+from repro.errors import InvalidArgumentError, MediaError
+from repro.faults.model import MediaFaults
+from repro.faults.plan import FaultPlan
 from repro.obs import Counter
 from repro.runner.worker import _reset_naming_counters
 from repro.system import System
@@ -108,7 +110,8 @@ class CrashInjector:
     def __init__(self, factory: Callable[[], System],
                  workload: Union[str, Callable[[System], None]],
                  *, seed: int = 0, max_points: int = 64,
-                 break_commit_fence: bool = False):
+                 break_commit_fence: bool = False,
+                 fault_plan: "FaultPlan | None" = None):
         self.factory = factory
         if callable(workload):
             self.workload = workload
@@ -124,6 +127,11 @@ class CrashInjector:
         self.seed = seed
         self.max_points = max_points
         self.break_commit_fence = break_commit_fence
+        #: Optional armed media-fault plan attached to *every* replica
+        #: (probe included, so transition counts line up): crash points
+        #: then compose with live UEs/stalls, and recovery must satisfy
+        #: both the crash audit and the fault accounting.
+        self.fault_plan = fault_plan
         self._freq = 2.7e9
 
     # -- machine construction ----------------------------------------------
@@ -131,6 +139,8 @@ class CrashInjector:
         _reset_naming_counters()
         system = self.factory()
         system.attach_persistence(domain)
+        if self.fault_plan is not None:
+            system.attach_faults(MediaFaults(self.fault_plan))
         if self.break_commit_fence:
             journal = getattr(system.fs, "journal", None)
             if journal is not None:
@@ -143,7 +153,12 @@ class CrashInjector:
         """Run once unarmed; returns the number of crash candidates."""
         domain = PersistenceDomain()
         system = self._build(domain)
-        self.workload(system)
+        try:
+            self.workload(system)
+        except MediaError:
+            # An armed UE killed the workload early; the transitions
+            # performed up to that point are still the crash candidates.
+            system.engine.reap_crashed()
         return domain.transitions
 
     def run_point(self, point: int) -> CrashPointOutcome:
@@ -155,6 +170,11 @@ class CrashInjector:
             self.workload(system)
         except CrashTriggered:
             pass
+        except MediaError:
+            # A fault fired before the crash point: the thread died at
+            # the poisoned access and power fails wherever the domain
+            # got to.  Both disciplines must still recover.
+            system.engine.reap_crashed()
         # Per-point RNG: decides (deterministically, independently per
         # point) which unfenced flushes drained before power was lost.
         rng = random.Random((self.seed << 24) ^ (point * 0x9E3779B1))
@@ -189,11 +209,13 @@ class CrashInjector:
 def run_crash(factory: Callable[[], System],
               workload: Union[str, Callable[[System], None]],
               *, seed: int = 0, max_points: int = 64,
-              break_commit_fence: bool = False) -> CrashSummary:
+              break_commit_fence: bool = False,
+              fault_plan: "FaultPlan | None" = None) -> CrashSummary:
     """One-call crash sweep: enumerate, inject, recover, audit."""
     injector = CrashInjector(factory, workload, seed=seed,
                              max_points=max_points,
-                             break_commit_fence=break_commit_fence)
+                             break_commit_fence=break_commit_fence,
+                             fault_plan=fault_plan)
     return injector.run()
 
 

@@ -87,6 +87,10 @@ class MediaFaults:
         self.fired: List[FaultSite] = []
         #: Open bandwidth windows: (factor, expires-at-clock).
         self._windows: List[Tuple[float, int]] = []
+        #: Open *migration-link* bandwidth windows (repro.virt).  Kept
+        #: apart from media windows: a degraded inter-node link slows
+        #: page pulls, not local media accesses.
+        self._link_windows: List[Tuple[float, int]] = []
         self.system = None
         # Running totals (mirrored into faults.* counters).
         self.armed = 0
@@ -137,6 +141,57 @@ class MediaFaults:
         pages = list(range(first_page, last_page + 1))
         return self._touch(kind, inode, pages, allow_ue=allow_ue,
                            mapped=True)
+
+    def link_touch(self, kind: str, nbytes: int) -> Tuple[float, float]:
+        """Migration-link transfer window (one touch per pull or
+        prefetch batch over the inter-node link).
+
+        Returns ``(stall_cycles, bw_factor)``: non-zero stall cycles
+        mean the transfer timed out at the device (the caller raises
+        :class:`~repro.errors.DeviceStallError` and walks its retry
+        ladder), and ``bw_factor`` (>= 1.0, the product of open link
+        windows) multiplies the transfer's latency.  UEs never arm on
+        the link itself — the link corrupts nothing end-to-end (CRC +
+        retry is the stall path), so a UE site whose clock index lands
+        on a link touch stays latent, exactly like an ineligible media
+        touch.
+        """
+        index = self.clock
+        self.clock += 1
+        self._expire_windows(index)
+        self._expire_link_windows(index)
+        if self.records is not None:
+            self.records.append(TouchRecord(
+                index=index, category=kind, ue_eligible=False,
+                targets=max(1, nbytes >> 12)))
+            return 0.0, self._link_factor()
+        site = self.plan.site_at(index)
+        if site is None:
+            return 0.0, self._link_factor()
+        if site.kind is FaultKind.STALL:
+            self.fired.append(site)
+            self.stalls += 1
+            self._stats.add(Counter.FAULTS_STALL_EPISODES)
+            return site.stall_cycles, self._link_factor()
+        if site.kind is FaultKind.BW_WINDOW:
+            self.fired.append(site)
+            self.bw_entered += 1
+            self._link_windows.append((site.factor, index + site.duration))
+            self._stats.add(Counter.FAULTS_BW_WINDOWS)
+            return 0.0, self._link_factor()
+        # UE site on a link touch: stays latent (not ue-eligible).
+        return 0.0, self._link_factor()
+
+    def _expire_link_windows(self, index: int) -> None:
+        self._link_windows = [(factor, expires_at)
+                              for factor, expires_at in self._link_windows
+                              if index < expires_at]
+
+    def _link_factor(self) -> float:
+        factor = 1.0
+        for window_factor, _expires_at in self._link_windows:
+            factor *= window_factor
+        return factor
 
     def _touch(self, kind: str, inode, targets: List[int],
                allow_ue: bool, mapped: bool):

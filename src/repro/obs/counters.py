@@ -131,6 +131,19 @@ class Counter(enum.Enum):
     TENANCY_BW_THROTTLE_CYCLES = "tenancy.bw_throttle_cycles"
     TENANCY_ANTAGONIST_PAGES = "tenancy.antagonist_pages_dirtied"
 
+    # -- Guest VMs and live migration (virt/) -----------------------------
+    VIRT_GUEST_ACCESSES = "virt.guest_accesses"
+    VIRT_NESTED_WALK_CYCLES = "virt.nested_walk_cycles"
+    VIRT_MIGRATIONS_STARTED = "virt.migrations_started"
+    VIRT_MIGRATIONS_COMPLETED = "virt.migrations_completed"
+    VIRT_MIGRATIONS_ABORTED = "virt.migrations_aborted"
+    VIRT_DOWNTIME_CYCLES = "virt.downtime_cycles"
+    VIRT_PAGES_PULLED = "virt.pages_pulled"
+    VIRT_PREFETCHED_PAGES = "virt.prefetched_pages"
+    VIRT_PULL_RETRIES = "virt.pull_retries"
+    VIRT_PULL_POISONED = "virt.pull_poisoned"
+    VIRT_DEGRADED_ACCESSES = "virt.degraded_accesses"
+
     # -- Baselines ---------------------------------------------------------
     LATR_LAZY_INVALIDATIONS = "latr.lazy_invalidations"
 

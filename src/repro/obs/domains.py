@@ -67,6 +67,13 @@ class CostDomain(enum.Enum):
     #: repro.tenancy runtime is attached (a single tenant with no
     #: quotas installs nothing and charges nothing here).
     TENANCY = "tenancy"
+    #: Hypervisor and live-migration costs: nested-walk surcharge on
+    #: guest translations, migration downtime, demand page-pulls and
+    #: prefetch over the migration link, pull-retry backoff and
+    #: degraded-mode remote-access surcharge.  Zero unless a
+    #: repro.virt hypervisor is attached (and a pass-through guest
+    #: with no migration charges nothing here either).
+    VIRT = "virt"
 
     def __str__(self) -> str:  # pragma: no cover - display aid
         return self.value
@@ -92,6 +99,7 @@ DOMAIN_ORDER = [
     CostDomain.LOCK_WAIT,
     CostDomain.TIERING,
     CostDomain.TENANCY,
+    CostDomain.VIRT,
     CostDomain.CRASH,
     CostDomain.FAULTS,
 ]

@@ -162,6 +162,31 @@ class TranslationScheme:
         """Average cycles per huge-page TLB miss under this MMU."""
         raise NotImplementedError
 
+    #: Two-dimensional walk blowup for nested (guest) translation.
+    #: For an n-level guest tree over an m-level host tree, a full 2D
+    #: walk references n·m + n + m structure entries against n for a
+    #: native walk (Intel SDM vol. 3, EPT): 24/4 = 6x for radix4 on
+    #: radix4, 35/5 = 7x for radix5.  Non-radix schemes default to 2x —
+    #: each guest lookup needs exactly one host lookup (two probe
+    #: chains for hashed, two binary searches for range).
+    NESTED_WALK_FACTOR: float = 2.0
+
+    def nested_walk_cost(self, walker: PageWalker, pattern: AccessPattern,
+                         leaf_medium: Medium,
+                         leaf_factor: float = 1.0) -> float:
+        """Average cycles per base-page TLB miss for a *guest*
+        translation nested over this MMU (guest-virtual →
+        guest-physical → host-physical).  Only consulted when a
+        hypervisor marks the address space nested; bare machines never
+        call it.
+        """
+        return self.NESTED_WALK_FACTOR * self.walk_cost(
+            walker, pattern, leaf_medium, leaf_factor=leaf_factor)
+
+    def nested_huge_walk_cost(self, walker: PageWalker) -> float:
+        """Huge-page analogue of :meth:`nested_walk_cost`."""
+        return self.NESTED_WALK_FACTOR * self.huge_walk_cost(walker)
+
     def effective_leaf_medium(self, table_medium: Medium) -> Medium:
         """Medium a walk's last load hits for a file-table mapping.
 
@@ -225,6 +250,8 @@ class Radix4Scheme(PageTable, TranslationScheme):
     name = "radix4"
     supports_fragments = True
     ROOT_LEVEL = PGD_LEVEL
+    #: (4·4 + 4 + 4) / 4 — the EPT-style 2D walk over two 4-level trees.
+    NESTED_WALK_FACTOR = 6.0
 
     def __init__(self, physmem: PhysicalMemory, costs: CostModel,
                  medium: Medium = Medium.DRAM,
@@ -319,6 +346,8 @@ class Radix5Scheme(Radix4Scheme):
 
     name = "radix5"
     ROOT_LEVEL = PGD_LEVEL + 1
+    #: (5·5 + 5 + 5) / 5 — two 5-level trees.
+    NESTED_WALK_FACTOR = 7.0
 
     def walk_cost(self, walker, pattern, leaf_medium, leaf_factor=1.0):
         base = walker.walk_cost(pattern, leaf_medium,

@@ -70,6 +70,11 @@ class SweepPoint:
     #: consumed by the worker's ``attach_tenancy`` call.  Part of the
     #: payload, hence of the cache key.
     tenancy: Dict[str, object] = field(default_factory=dict)
+    #: Hypervisor/migration shape for the point: ``{}`` = a bare
+    #: machine; otherwise a :meth:`repro.virt.VirtConfig.to_state`
+    #: dict — consumed by the ``migrate`` point runner.  Part of the
+    #: payload, hence of the cache key.
+    virt: Dict[str, object] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -97,6 +102,7 @@ class SweepPoint:
             "node_kinds": self.node_kinds,
             "tiering": dict(self.tiering),
             "tenancy": dict(self.tenancy),
+            "virt": dict(self.virt),
         }
 
     @classmethod

@@ -504,6 +504,59 @@ def _consolidate_sweep(*, ops: int, size: int, media: str,
                  points=points, axis="tenants")
 
 
+@point_runner("migrate")
+def _migrate_point(system: System, *, workload: str) -> RunResult:
+    """One guest run under the hypervisor the worker attached from the
+    point's ``virt`` payload (so the hypervisor shape is part of the
+    cache key by construction)."""
+    from repro.errors import InvalidArgumentError
+    from repro.virt import run_migrate
+
+    if system.hypervisor is None:
+        raise InvalidArgumentError(
+            "migrate points need a virt payload on the SweepPoint")
+    return run_migrate(system, workload)
+
+
+#: Migration trigger points on the migrate sweep's x axis (guest
+#: accesses before the pause): earlier triggers migrate more residual
+#: state under post-copy, later triggers shrink the pull window.
+MIGRATE_AFTER = (8, 16, 32, 64)
+
+
+@sweep("migrate", "post-copy live migration: trigger point x prefetch")
+def _migrate_sweep(*, ops: int, size: int, media: str, device_gib: int,
+                   aged: bool) -> Sweep:
+    """Downtime and pull traffic vs when the migration triggers, with
+    and without the prefetch kthread, for both guest workloads.  The
+    ``base`` series (x = 0) is the nested-but-never-migrated guest —
+    the cost floor every migrating point is compared against.  ``ops``
+    and ``size`` are deliberately ignored: guest workloads are the
+    pinned crash workloads, so points stay byte-comparable across
+    budget knobs."""
+    points = []
+    for workload in ("syncbench", "kvstore"):
+        points.append(SweepPoint(
+            experiment="migrate", series=f"{workload}+base", x=0,
+            params={"workload": workload},
+            media=media, device_gib=device_gib, aged=False,
+            virt={"nested": True, "migrate": False}))
+        for after in MIGRATE_AFTER:
+            for prefetch in (True, False):
+                suffix = "+prefetch" if prefetch else "+noprefetch"
+                points.append(SweepPoint(
+                    experiment="migrate",
+                    series=f"{workload}{suffix}", x=after,
+                    params={"workload": workload},
+                    media=media, device_gib=device_gib, aged=False,
+                    virt={"nested": True, "migrate": True,
+                          "migrate_after": after,
+                          "prefetch": prefetch, "seed": 0}))
+    return Sweep(name="migrate",
+                 title="Post-copy migration: downtime and pull traffic",
+                 points=points, axis="migrate_after")
+
+
 def build_sweep(name: str, *, ops: int, size: int, media: str,
                 device_gib: int, aged: bool) -> Sweep:
     """Expand a named sweep with the given CLI-level knobs."""

@@ -78,6 +78,15 @@ def _attach_tenancy(system: System, spec: Dict[str, object]) -> None:
     system.attach_tenancy(TenancyConfig.from_state(spec))
 
 
+def _attach_virt(system: System, spec: Dict[str, object]) -> None:
+    """Rehydrate the point's ``virt`` dict (a ``VirtConfig.to_state``
+    payload) and attach the hypervisor; processes created afterwards
+    by the point's workload enroll as guests automatically."""
+    from repro.virt import VirtConfig
+
+    system.attach_hypervisor(VirtConfig.from_state(spec))
+
+
 #: Rows kept from a per-point profile (sorted by tottime).
 PROFILE_TOP = 15
 
@@ -136,6 +145,8 @@ def run_point(payload: Dict[str, object],
         _attach_tiering(system, point.tiering)
     if point.tenancy:
         _attach_tenancy(system, point.tenancy)
+    if point.virt:
+        _attach_virt(system, point.virt)
     profiler = None
     if profile:
         import cProfile

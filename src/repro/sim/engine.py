@@ -761,17 +761,23 @@ class Engine:
         return count
 
     def broadcast_interrupt(self, cycles: float, domain: CostDomain,
-                            event: str) -> int:
+                            event: str,
+                            only: Optional[Iterable["SimThread"]] = None,
+                            ) -> int:
         """Interrupt every core running another live non-daemon
         thread; returns the victim count.
 
         Device-wide events — a media-stall window freezing the DIMM,
         say — hit everyone touching the device, not just the thread
         that tripped them.  The caller's own core is exempt (it pays
-        the cost in-line through its ``Charge``)."""
+        the cost in-line through its ``Charge``).  ``only`` restricts
+        the blast radius to the listed threads' cores — a hypervisor
+        pausing one guest freezes that guest's vCPUs, not the host —
+        and ``None`` (the default) keeps the device-wide behaviour."""
         current = self.current
         skip = current.core.index if current is not None else -1
-        victims = {thread.core.index for thread in self.threads
+        pool = self.threads if only is None else only
+        victims = {thread.core.index for thread in pool
                    if not thread.daemon
                    and thread.state != SimThread.FINISHED}
         victims.discard(skip)

@@ -122,6 +122,8 @@ class System:
         self.tiering = None
         #: Attached :class:`repro.tenancy.TenancyRuntime`, if any.
         self.tenancy = None
+        #: Attached :class:`repro.virt.Hypervisor`, if any.
+        self.hypervisor = None
 
     def _make_pools(self) -> "list[SharedBandwidth]":
         """One aggregate PMem bandwidth pool per socket.  The machine
@@ -160,7 +162,10 @@ class System:
                       self.stats, aslr_seed=aslr_seed, name=pname,
                       topology=self.topology, home_node=home_node,
                       scheme=self.scheme)
-        return Process(self, mm, pname)
+        process = Process(self, mm, pname)
+        if self.hypervisor is not None:
+            self.hypervisor.enroll(process)
+        return process
 
     @property
     def filetables(self) -> FileTableManager:
@@ -264,7 +269,16 @@ class System:
         """Wire a :class:`repro.faults.MediaFaults` into the layers that
         touch media: the file system (badblocks scans on read/append)
         and the memory model (poisoned-frame checks and bandwidth
-        windows on the mapped-access path)."""
+        windows on the mapped-access path).
+
+        Attaching twice is refused: the second plan would silently
+        replace the first's hooks mid-run, leaving armed sites that can
+        never fire (and a fault clock that jumps backwards).
+        """
+        if self.faults is not None:
+            raise ValueError(
+                "attach_faults: a MediaFaults plan is already attached; "
+                "build a fresh System per plan")
         self.faults = faults
         self.fs.faults = faults
         self.mem.faults = faults
@@ -287,6 +301,11 @@ class System:
         from repro.mem.physmem import Medium
         from repro.tiering import TierMap, TieringDaemon
 
+        if self.mem.tiers is not None or self.tiering is not None:
+            raise ValueError(
+                "attach_tiering: a tier overlay is already attached; "
+                "a second TierMap would silently orphan the first's "
+                "residency state")
         tiers = TierMap(default=data_medium or Medium.PMEM)
         self.mem.tiers = tiers
         if daemon:
@@ -311,6 +330,25 @@ class System:
         self.tenancy = TenancyRuntime(self, config)
         self.tenancy.install()
         return self.tenancy
+
+    # -- guest VMs / live migration ------------------------------------------
+    def attach_hypervisor(self, config=None):
+        """Attach a :class:`repro.virt.Hypervisor` to this machine.
+
+        A pass-through hypervisor (``VirtConfig()`` — no nested
+        pricing, no migration) installs hooks that never fire, keeping
+        the machine bit-identical to a bare one (the
+        ``virt_equivalence`` golden gate).  Returns the hypervisor.
+        """
+        from repro.virt import Hypervisor, VirtConfig
+
+        if self.hypervisor is not None:
+            raise ValueError(
+                "attach_hypervisor: a hypervisor is already attached; "
+                "a second one would double-price guest walks and race "
+                "the first's migration state machine")
+        self.hypervisor = Hypervisor(self, config or VirtConfig())
+        return self.hypervisor
 
     def seconds(self, cycles: Optional[float] = None) -> float:
         value = self.engine.now if cycles is None else cycles

@@ -1,0 +1,37 @@
+"""Guest VMs over DAX files with post-copy live migration.
+
+See :mod:`repro.virt.hypervisor` for the guest/hypervisor layer,
+:mod:`repro.virt.migration` for the migration state machine,
+:mod:`repro.virt.audit` for the crash/fault hardening audit and
+:mod:`repro.virt.golden` for the pass-through equivalence gate.
+"""
+
+from repro.virt.audit import (
+    AUDIT_WORKLOADS,
+    MigrateAuditSummary,
+    MigrateCrashInjector,
+    MigrateFaultInjector,
+    link_targeted_plan,
+    migrate_factory,
+    run_migrate_audit,
+)
+from repro.virt.hypervisor import GuestAddressSpace, Hypervisor, VirtConfig
+from repro.virt.migration import MigrationJob, MigrationState
+from repro.virt.runner import MIGRATE_WORKLOADS, run_migrate
+
+__all__ = [
+    "AUDIT_WORKLOADS",
+    "GuestAddressSpace",
+    "Hypervisor",
+    "MIGRATE_WORKLOADS",
+    "MigrateAuditSummary",
+    "MigrateCrashInjector",
+    "MigrateFaultInjector",
+    "MigrationJob",
+    "MigrationState",
+    "VirtConfig",
+    "link_targeted_plan",
+    "migrate_factory",
+    "run_migrate",
+    "run_migrate_audit",
+]

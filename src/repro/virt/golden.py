@@ -1,0 +1,95 @@
+"""The virt-equivalence golden: bare machine vs pass-through guest.
+
+The hypervisor hangs hooks on the hottest paths in the repo — every
+``mmap`` and every mapped access — and ``MMStruct._tlb_cost`` consults
+the guest for nested pricing.  The promise that buys them in: a guest
+with **no migration** under a **pass-through** hypervisor
+(``VirtConfig()``) is *bit-identical* to a bare machine — same clock,
+same counters, same ledger, to the last float.
+
+The golden file is captured from the **bare** machine — no hypervisor
+attached, the guest workloads run exactly as they did before this
+subsystem existed.  ``tests/test_virt_golden.py`` replays the same
+workloads with a pass-through hypervisor attached (hooks installed,
+every process enrolled) and byte-compares the states.
+
+``python -m repro.virt.golden`` recaptures the file; do that only
+when a PR intentionally changes simulated costs, and say so in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+GOLDEN_PATH = (Path(__file__).resolve().parents[3]
+               / "tests" / "golden" / "virt_equivalence.json")
+
+#: Pinned guest workloads (the migration guests; see repro.virt.runner).
+PINNED = ("syncbench", "kvstore")
+
+#: Machine shape for the pinned runs (match the CI smoke).
+MEDIA = "optane"
+DEVICE_GIB = 1
+
+
+def _build_system(passive_hypervisor: bool):
+    from repro.config import MEDIA_PRESETS
+    from repro.runner.worker import _reset_naming_counters
+    from repro.system import System
+    from repro.virt.hypervisor import VirtConfig
+
+    _reset_naming_counters()
+    system = System(costs=MEDIA_PRESETS[MEDIA](),
+                    device_bytes=DEVICE_GIB << 30, aged=False)
+    if passive_hypervisor:
+        hv = system.attach_hypervisor(VirtConfig())
+        assert hv.config.passive
+    return system
+
+
+def machine_state(system) -> Dict[str, object]:
+    """Everything observable: clock, counters, per-domain ledger."""
+    from repro.obs import CostDomain
+
+    return {
+        "now": system.engine.now,
+        "counters": dict(sorted(system.stats.counters.items())),
+        "domains": {d.value: system.engine.ledger.domain_total(d)
+                    for d in CostDomain},
+    }
+
+
+def run_state(workload: str, *,
+              passive_hypervisor: bool) -> Dict[str, object]:
+    """Run one pinned guest workload and snapshot the machine."""
+    from repro.crash.workloads import CRASH_WORKLOADS
+
+    system = _build_system(passive_hypervisor)
+    CRASH_WORKLOADS[workload](system)
+    if system.hypervisor is not None:
+        system.hypervisor.finalize()
+        assert not system.hypervisor.jobs, \
+            "a passive hypervisor must never start a migration"
+    return machine_state(system)
+
+
+def golden_states() -> Dict[str, object]:
+    """The bare-machine states (no hypervisor attached at all)."""
+    return {workload: run_state(workload, passive_hypervisor=False)
+            for workload in PINNED}
+
+
+def golden_json() -> str:
+    return json.dumps(golden_states(), indent=2, sort_keys=True) + "\n"
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(golden_json())
+    print(f"captured {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -108,6 +108,11 @@ class MMStruct:
                                               topology=topology)
         #: Cores currently running this process's threads (cpumask).
         self.active_cores: Set[int] = set()
+        #: :class:`repro.virt.GuestAddressSpace` when this mm *is* a
+        #: guest under a hypervisor; ``None`` (bare machine) skips
+        #: every virt hook.  A pass-through guest installs the hook
+        #: but yields nothing, keeping the event stream bit-identical.
+        self.guest = None
 
     @property
     def page_table(self):
@@ -177,6 +182,8 @@ class MMStruct:
         vma.mm = self
         self.vmas.insert(start, vma)
         inode.i_mmap.append(vma)
+        if self.guest is not None:
+            self.guest.note_mapping(vma)
         yield from self.mmap_sem.release_write()
         if flags & MapFlags.POPULATE:
             # mm_populate runs after the map is installed, holding the
@@ -385,6 +392,11 @@ class MMStruct:
         if self.mem.faults is not None and vma.inode is not None:
             yield from self._media_map_check(vma, first_page, last_page,
                                              write=write)
+
+        # -- hypervisor intercept (post-copy page pulls) -------------------
+        if self.guest is not None:
+            yield from self.guest.on_access(vma, first_page, last_page,
+                                            write=write)
 
         # -- demand faults ------------------------------------------------
         if vma.fully_populated:
@@ -681,6 +693,20 @@ class MMStruct:
                                            leaf_factor=leaf_factor)
         cost = (misses_small * walk_small
                 + misses_huge * self.scheme.huge_walk_cost(self.walker))
+        guest = self.guest
+        if guest is not None and guest.nested:
+            # Two-dimensional (guest-over-host) walk pricing: the same
+            # misses, each walking both trees.  The surcharge over the
+            # native walk is tracked so perf tables can show the
+            # virtualisation tax; the cycles stay in the walk domain
+            # (they *are* walk cycles).
+            nested = (misses_small * self.scheme.nested_walk_cost(
+                          self.walker, pattern, leaf_medium,
+                          leaf_factor=leaf_factor)
+                      + misses_huge
+                      * self.scheme.nested_huge_walk_cost(self.walker))
+            self.stats.add(Counter.VIRT_NESTED_WALK_CYCLES, nested - cost)
+            cost = nested
         self.stats.add(Counter.VM_TLB_MISSES, misses_small + misses_huge)
         self.stats.add(Counter.VM_WALK_CYCLES, cost)
         return cost

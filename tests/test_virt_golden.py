@@ -1,0 +1,55 @@
+"""The pass-through bit-identicality gate of the virt subsystem.
+
+DESIGN.md §15 promises that virtualizing the machine cost nothing when
+nothing is virtualized: a guest under a pass-through hypervisor
+(``VirtConfig()`` — no nested pricing, no migration) must execute
+*bit-identically* to a bare machine, even though every mmap and every
+mapped access now routes through the hypervisor's hooks and
+``MMStruct._tlb_cost`` consults the guest.
+
+The golden file was captured from the bare machine (``python -m
+repro.virt.golden``); this test replays the same guest workloads both
+ways and compares the complete observable state — clock, counters and
+the full per-domain ledger.
+
+If this fails, some virt hook (the access intercept, the mmap report,
+the nested-walk branch) leaked cost or state into the pass-through
+path.  Recapture only when a PR intentionally changes simulated
+numbers, and say so in the PR.
+"""
+
+import json
+
+import pytest
+
+from repro.virt.golden import GOLDEN_PATH, PINNED, golden_json, run_state
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; capture it on a known-good commit with "
+        "`python -m repro.virt.golden`")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_bare_capture_matches_golden(golden):
+    """The capture path itself: guards against cost drift in the
+    guest workloads independent of any hypervisor."""
+    assert json.loads(golden_json()) == golden
+
+
+def test_passive_guest_is_bit_identical(golden):
+    """Hooks installed, every process enrolled as a guest — and the
+    machine still lands on the same floats, to the last digit."""
+    for workload in PINNED:
+        state = run_state(workload, passive_hypervisor=True)
+        reference = golden[workload]
+        assert state["now"] == reference["now"], (
+            f"{workload}: the pass-through guest shifted the clock")
+        assert state["counters"] == reference["counters"], (
+            f"{workload}: the pass-through guest bumped a counter")
+        assert state["domains"] == reference["domains"], (
+            f"{workload}: the pass-through guest leaked ledger cycles")
+        assert (json.dumps(state, sort_keys=True)
+                == json.dumps(reference, sort_keys=True))
